@@ -1,0 +1,74 @@
+// Shared plumbing for the per-table/per-figure benchmark binaries.
+//
+// Environment knobs (all optional):
+//   AERIE_BENCH_SCALE    — fileset scale relative to the paper's (default
+//                          0.05; 1.0 reproduces the paper's sizes)
+//   AERIE_BENCH_SECONDS  — measurement window per data point (default 2)
+//   AERIE_BENCH_THREADS  — max threads for scaling sweeps (default 4)
+//
+// Every binary prints a Markdown-ish table mirroring the paper's artifact,
+// plus the paper's numbers alongside where useful (EXPERIMENTS.md records
+// both).
+#ifndef AERIE_BENCH_BENCH_UTIL_H_
+#define AERIE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/common/histogram.h"
+#include "src/workload/filebench.h"
+#include "src/workload/sut.h"
+
+namespace aerie {
+namespace bench {
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atof(value) : fallback;
+}
+
+inline double Scale() { return EnvDouble("AERIE_BENCH_SCALE", 0.05); }
+inline double Seconds() { return EnvDouble("AERIE_BENCH_SECONDS", 2.0); }
+inline int MaxThreads() {
+  return static_cast<int>(EnvDouble("AERIE_BENCH_THREADS", 4));
+}
+
+inline SystemUnderTest::Options DefaultSutOptions() {
+  SystemUnderTest::Options options;
+  options.region_bytes = 2ull << 30;
+  options.disk_blocks = 512ull << 10;
+  return options;
+}
+
+// Fails fast with a readable message: a benchmark that cannot set up its
+// system has nothing meaningful to print.
+#define BENCH_CHECK_OK(expr)                                          \
+  do {                                                                \
+    const auto& _st = (expr);                                         \
+    if (!_st.ok()) {                                                  \
+      std::fprintf(stderr, "FATAL %s:%d: %s\n", __FILE__, __LINE__,   \
+                   _st.status().ToString().c_str());                  \
+      std::exit(1);                                                   \
+    }                                                                 \
+  } while (0)
+
+#define BENCH_CHECK_STATUS(expr)                                      \
+  do {                                                                \
+    ::aerie::Status _st = (expr);                                     \
+    if (!_st.ok()) {                                                  \
+      std::fprintf(stderr, "FATAL %s:%d: %s\n", __FILE__, __LINE__,   \
+                   _st.ToString().c_str());                           \
+      std::exit(1);                                                   \
+    }                                                                 \
+  } while (0)
+
+inline double MeanUs(const Histogram& hist) { return hist.Mean() / 1e3; }
+inline double P95Us(const Histogram& hist) {
+  return static_cast<double>(hist.Percentile(95)) / 1e3;
+}
+
+}  // namespace bench
+}  // namespace aerie
+
+#endif  // AERIE_BENCH_BENCH_UTIL_H_

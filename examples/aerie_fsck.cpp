@@ -1,0 +1,111 @@
+// aerie_fsck: inspect and integrity-check a persisted Aerie volume image.
+//
+//   build/examples/aerie_fsck [image-path]
+//
+// With no argument it builds a demo image (populate, crash mid-batch,
+// recover) and checks it at each stage — a guided tour of the WAL recovery
+// story. With a path it opens that image read-write, runs recovery and
+// prints the fsck report, like a conventional fsck invocation.
+#include <cstdio>
+#include <string>
+
+#include "src/libfs/system.h"
+#include "src/pxfs/pxfs.h"
+#include "src/tfs/fsck.h"
+
+using namespace aerie;
+
+namespace {
+
+int CheckImage(const std::string& path) {
+  AerieSystem::Options options;
+  options.region_bytes = 256ull << 20;
+  options.region_path = path;
+  options.fresh = false;  // mount + recover
+  auto system = AerieSystem::Create(options);
+  if (!system.ok()) {
+    std::fprintf(stderr, "mount failed: %s\n",
+                 system.status().ToString().c_str());
+    return 1;
+  }
+  auto report = RunFsck((*system)->volume());
+  if (!report.ok()) {
+    std::fprintf(stderr, "fsck failed to run: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", report->Summary().c_str());
+  for (const auto& message : report->messages) {
+    std::printf("  ! %s\n", message.c_str());
+  }
+  return report->ok() ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    return CheckImage(argv[1]);
+  }
+
+  const std::string image = "/tmp/aerie_fsck_demo.img";
+  ::unlink(image.c_str());
+  std::printf("== building demo image %s\n", image.c_str());
+  {
+    AerieSystem::Options options;
+    options.region_bytes = 256ull << 20;
+    options.region_path = image;
+    auto system = AerieSystem::Create(options);
+    if (!system.ok()) {
+      return 1;
+    }
+    auto client = (*system)->NewClient();
+    if (!client.ok()) {
+      return 1;
+    }
+    Pxfs fs((*client)->fs());
+    (void)fs.Mkdir("/etc");
+    (void)fs.Mkdir("/var");
+    for (int i = 0; i < 25; ++i) {
+      const std::string path = "/var/log" + std::to_string(i);
+      auto fd = fs.Open(path, kOpenCreate | kOpenWrite);
+      if (fd.ok()) {
+        const std::string data(2000, 'd');
+        (void)fs.Write(*fd, std::span<const char>(data.data(), data.size()));
+        (void)fs.Close(*fd);
+      }
+    }
+    (void)fs.SyncAll();
+
+    // Leave the system in the nastiest state: a batch committed to the WAL
+    // but never applied, plus an abandoned client with live pools.
+    (*system)->tfs()->set_crash_after_log_commit(true);
+    (void)fs.Create("/etc/in-flight.conf");
+    (void)fs.SyncAll();  // commits to the WAL, "crashes" before apply
+    (*client)->AbandonForCrashTest();
+    std::printf("   populated; crashed mid-batch with a committed WAL "
+                "record\n");
+  }
+
+  std::printf("== fsck after reboot (recovery replays the WAL, reclaims "
+              "pools)\n");
+  const int rc = CheckImage(image);
+  std::printf("== verifying the in-flight file was recovered\n");
+  {
+    AerieSystem::Options options;
+    options.region_bytes = 256ull << 20;
+    options.region_path = image;
+    options.fresh = false;
+    auto system = AerieSystem::Create(options);
+    if (system.ok()) {
+      auto client = (*system)->NewClient();
+      if (client.ok()) {
+        Pxfs fs((*client)->fs());
+        std::printf("   /etc/in-flight.conf: %s\n",
+                    fs.Stat("/etc/in-flight.conf").status().ToString().c_str());
+      }
+    }
+  }
+  ::unlink(image.c_str());
+  return rc;
+}

@@ -1,0 +1,18 @@
+#!/bin/bash
+# Full benchmark sweep: one output section per paper table/figure.
+# Scales are sized for a single-core host; AERIE_BENCH_SCALE=1.0 with longer
+# windows reproduces the paper's configurations on bigger machines.
+cd "$(dirname "$0")/build"
+set -x
+AERIE_BENCH_SCALE=0.1 ./bench/fig1_vfs_breakdown
+AERIE_BENCH_SCALE=0.25 ./bench/table1_microbench
+AERIE_BENCH_SCALE=0.2 AERIE_BENCH_SECONDS=3 ./bench/table2_filebench
+AERIE_BENCH_SCALE=0.05 AERIE_BENCH_SECONDS=1.5 AERIE_BENCH_THREADS=4 ./bench/fig5_thread_scaling
+AERIE_BENCH_SCALE=0.15 AERIE_BENCH_SECONDS=2 ./bench/table3_multiclient
+AERIE_BENCH_SCALE=0.05 AERIE_BENCH_SECONDS=2 ./bench/fig6_write_latency
+./bench/micro_permission_change
+AERIE_BENCH_SCALE=0.1 AERIE_BENCH_SECONDS=2 ./bench/ablation_batching
+AERIE_BENCH_SCALE=0.2 AERIE_BENCH_SECONDS=2 ./bench/ablation_name_cache
+AERIE_BENCH_SCALE=0.1 AERIE_BENCH_SECONDS=2 ./bench/ablation_lock_modes
+AERIE_BENCH_SCALE=0.05 AERIE_BENCH_SECONDS=1 ./bench/ablation_rpc_cost
+./bench/gbench_primitives --benchmark_min_time=0.2

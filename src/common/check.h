@@ -1,0 +1,29 @@
+// Invariant-check macros.
+//
+// AERIE_CHECK aborts on violated internal invariants (never on user error —
+// user-visible failures travel as Status). AERIE_DCHECK compiles out of
+// release builds.
+#ifndef AERIE_SRC_COMMON_CHECK_H_
+#define AERIE_SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define AERIE_CHECK(cond)                                               \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "AERIE_CHECK failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__, #cond);                          \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
+#ifndef NDEBUG
+#define AERIE_DCHECK(cond) AERIE_CHECK(cond)
+#else
+#define AERIE_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#endif
+
+#endif  // AERIE_SRC_COMMON_CHECK_H_

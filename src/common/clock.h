@@ -1,0 +1,56 @@
+// Nanosecond clocks, calibrated spin delays and stopwatches.
+//
+// The SCM latency model (paper §7.4) injects configurable write delays by
+// spinning on the timestamp counter, exactly as the paper does with RDTSCP.
+// We spin on a monotonic nanosecond clock so the delay is wall-clock accurate
+// regardless of the host TSC configuration.
+#ifndef AERIE_SRC_COMMON_CLOCK_H_
+#define AERIE_SRC_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace aerie {
+
+// Monotonic nanoseconds since an arbitrary epoch.
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Busy-waits for `ns` nanoseconds. Used to emulate slow SCM writes; must not
+// sleep, because real SCM stalls the CPU pipeline, not the scheduler.
+inline void SpinDelayNanos(uint64_t ns) {
+  if (ns == 0) {
+    return;
+  }
+  const uint64_t deadline = NowNanos() + ns;
+  while (NowNanos() < deadline) {
+    // Relax the pipeline a little while spinning.
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#endif
+  }
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(NowNanos()) {}
+  void Reset() { start_ = NowNanos(); }
+  uint64_t ElapsedNanos() const { return NowNanos() - start_; }
+  double ElapsedMicros() const {
+    return static_cast<double>(ElapsedNanos()) / 1e3;
+  }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace aerie
+
+#endif  // AERIE_SRC_COMMON_CLOCK_H_

@@ -1,0 +1,94 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace aerie {
+
+void Histogram::Clear() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ULL;
+  max_ = 0;
+}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value < kMinor) {
+    return static_cast<int>(value);
+  }
+  const int log = 63 - std::countl_zero(value);
+  const int major = log - kMinorBits + 1;
+  const int minor =
+      static_cast<int>((value >> (log - kMinorBits)) & (kMinor - 1));
+  return major * kMinor + minor;
+}
+
+uint64_t Histogram::BucketMidpoint(int bucket) {
+  const int major = bucket / kMinor;
+  const int minor = bucket % kMinor;
+  if (major == 0) {
+    return static_cast<uint64_t>(minor);
+  }
+  const int log = major + kMinorBits - 1;
+  const uint64_t base =
+      (1ULL << log) + (static_cast<uint64_t>(minor) << (log - kMinorBits));
+  const uint64_t width = 1ULL << (log - kMinorBits);
+  return base + width / 2;
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[static_cast<size_t>(BucketFor(value))]++;
+  count_++;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  const auto target = static_cast<uint64_t>(
+      p / 100.0 * static_cast<double>(count_ - 1) + 0.5);
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[static_cast<size_t>(i)];
+    if (seen > target) {
+      return std::clamp(BucketMidpoint(i), min(), max());
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::SummaryString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "mean=%.2fus p50=%.2fus p95=%.2fus p99=%.2fus max=%.2fus "
+                "n=%llu",
+                Mean() / 1e3, static_cast<double>(Percentile(50)) / 1e3,
+                static_cast<double>(Percentile(95)) / 1e3,
+                static_cast<double>(Percentile(99)) / 1e3,
+                static_cast<double>(max()) / 1e3,
+                static_cast<unsigned long long>(count_));
+  return buf;
+}
+
+}  // namespace aerie

@@ -1,0 +1,17 @@
+// Open flags shared by every file-system interface in this repository
+// (PXFS, the kernel-VFS baselines, and the workload adapters). Deliberately
+// not errno/fcntl values; these are library APIs.
+#ifndef AERIE_SRC_COMMON_OPEN_FLAGS_H_
+#define AERIE_SRC_COMMON_OPEN_FLAGS_H_
+
+namespace aerie {
+
+inline constexpr int kOpenRead = 1 << 0;
+inline constexpr int kOpenWrite = 1 << 1;
+inline constexpr int kOpenCreate = 1 << 2;
+inline constexpr int kOpenTrunc = 1 << 3;
+inline constexpr int kOpenAppend = 1 << 4;
+
+}  // namespace aerie
+
+#endif  // AERIE_SRC_COMMON_OPEN_FLAGS_H_

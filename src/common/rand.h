@@ -1,0 +1,74 @@
+// Deterministic, fast PRNG for workload generation and property tests.
+//
+// xoshiro256** — fast, high-quality, and reproducible across platforms, which
+// matters because benchmark workloads must generate identical op streams for
+// every file system under test.
+#ifndef AERIE_SRC_COMMON_RAND_H_
+#define AERIE_SRC_COMMON_RAND_H_
+
+#include <cstdint>
+
+#include "src/common/hash.h"
+
+namespace aerie {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the full state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      s = Mix64(x);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound == 0 returns 0.
+  uint64_t Uniform(uint64_t bound) {
+    if (bound == 0) {
+      return 0;
+    }
+    // Lemire's multiply-shift rejection-free approximation is fine here; the
+    // tiny modulo bias is irrelevant for workload generation.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  // True with probability num/den.
+  bool Chance(uint64_t num, uint64_t den) { return Uniform(den) < num; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace aerie
+
+#endif  // AERIE_SRC_COMMON_RAND_H_

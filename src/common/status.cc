@@ -1,0 +1,58 @@
+#include "src/common/status.h"
+
+namespace aerie {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kNotFound:
+      return "not-found";
+    case ErrorCode::kAlreadyExists:
+      return "already-exists";
+    case ErrorCode::kPermissionDenied:
+      return "permission-denied";
+    case ErrorCode::kInvalidArgument:
+      return "invalid-argument";
+    case ErrorCode::kOutOfSpace:
+      return "out-of-space";
+    case ErrorCode::kLockRevoked:
+      return "lock-revoked";
+    case ErrorCode::kLockConflict:
+      return "lock-conflict";
+    case ErrorCode::kStale:
+      return "stale";
+    case ErrorCode::kCorrupted:
+      return "corrupted";
+    case ErrorCode::kBusy:
+      return "busy";
+    case ErrorCode::kNotSupported:
+      return "not-supported";
+    case ErrorCode::kIoError:
+      return "io-error";
+    case ErrorCode::kNotDirectory:
+      return "not-directory";
+    case ErrorCode::kIsDirectory:
+      return "is-directory";
+    case ErrorCode::kNotEmpty:
+      return "not-empty";
+    case ErrorCode::kBadHandle:
+      return "bad-handle";
+    case ErrorCode::kUnavailable:
+      return "unavailable";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace aerie

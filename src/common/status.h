@@ -1,0 +1,137 @@
+// Status / Result types used throughout Aerie.
+//
+// Aerie modules do not throw exceptions on expected failure paths (file not
+// found, lock revoked, ...). Instead they return a Status, or a Result<T>
+// carrying either a value or a Status. This mirrors the error-code style used
+// by OS-level storage stacks and keeps failure handling explicit.
+#ifndef AERIE_SRC_COMMON_STATUS_H_
+#define AERIE_SRC_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace aerie {
+
+// Error categories. Kept deliberately close to the errno subsets a file
+// system needs, plus Aerie-specific distributed conditions.
+enum class ErrorCode : uint8_t {
+  kOk = 0,
+  kNotFound,           // name or object does not exist
+  kAlreadyExists,      // name already bound
+  kPermissionDenied,   // ACL or lock-ownership violation
+  kInvalidArgument,    // malformed request
+  kOutOfSpace,         // allocator exhausted
+  kLockRevoked,        // lease expired or lock revoked mid-operation
+  kLockConflict,       // lock unavailable (would block / deadlock avoidance)
+  kStale,              // cached state invalidated; retry
+  kCorrupted,          // on-SCM structure failed validation
+  kBusy,               // resource in use (e.g. directory not empty)
+  kNotSupported,       // operation not provided by this interface
+  kIoError,            // simulated device error
+  kNotDirectory,       // path component is not a directory
+  kIsDirectory,        // directory where file expected
+  kNotEmpty,           // directory not empty on remove
+  kBadHandle,          // unknown file descriptor / handle
+  kUnavailable,        // service unreachable / client failed
+  kInternal,           // invariant violation inside Aerie itself
+};
+
+// Returns a stable human-readable name ("kNotFound" -> "not-found").
+std::string_view ErrorCodeName(ErrorCode code);
+
+// A cheap, value-semantic status. OK statuses carry no allocation.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  explicit Status(ErrorCode code) : code_(code) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "not-found: no such entry 'foo'"
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+// Result<T>: either a T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : rep_(std::move(status)) {}  // NOLINT
+  Result(ErrorCode code) : rep_(Status(code)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) {
+      return kOk;
+    }
+    return std::get<Status>(rep_);
+  }
+
+  ErrorCode code() const { return ok() ? ErrorCode::kOk : status().code(); }
+
+  T& value() & { return std::get<T>(rep_); }
+  const T& value() const& { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  // Returns the value, or `fallback` on error.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+// Propagate a non-OK Status from an expression.
+#define AERIE_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::aerie::Status _st = (expr);              \
+    if (!_st.ok()) {                           \
+      return _st;                              \
+    }                                          \
+  } while (0)
+
+// Assign the value of a Result expression or propagate its Status.
+#define AERIE_ASSIGN_OR_RETURN(lhs, expr)      \
+  AERIE_ASSIGN_OR_RETURN_IMPL_(                \
+      AERIE_STATUS_CONCAT_(_res, __LINE__), lhs, expr)
+
+#define AERIE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) {                                   \
+    return tmp.status();                             \
+  }                                                  \
+  lhs = std::move(tmp).value()
+
+#define AERIE_STATUS_CONCAT_INNER_(a, b) a##b
+#define AERIE_STATUS_CONCAT_(a, b) AERIE_STATUS_CONCAT_INNER_(a, b)
+
+}  // namespace aerie
+
+#endif  // AERIE_SRC_COMMON_STATUS_H_

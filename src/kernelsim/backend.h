@@ -1,0 +1,56 @@
+// Backend interface the instrumented VFS layer drives.
+//
+// Mirrors the inode-operations split in a Unix kernel: the VFS owns fds,
+// the dentry cache, the inode cache and path walking; the backend owns
+// on-"disk" structure (RamFS keeps everything in VFS-side memory, ExtSimFs
+// keeps block-based metadata behind a journal).
+#ifndef AERIE_SRC_KERNELSIM_BACKEND_H_
+#define AERIE_SRC_KERNELSIM_BACKEND_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace aerie {
+
+using InodeNum = uint64_t;
+
+struct KInodeAttr {
+  InodeNum ino = 0;
+  bool is_dir = false;
+  uint64_t size = 0;
+  uint32_t nlink = 0;
+  uint32_t mode = 0644;
+};
+
+class KernelFsBackend {
+ public:
+  virtual ~KernelFsBackend() = default;
+
+  virtual InodeNum root_ino() const = 0;
+
+  virtual Result<InodeNum> Lookup(InodeNum dir, std::string_view name) = 0;
+  virtual Result<InodeNum> Create(InodeNum dir, std::string_view name,
+                                  bool is_dir) = 0;
+  virtual Status Unlink(InodeNum dir, std::string_view name) = 0;
+  virtual Status Rename(InodeNum src_dir, std::string_view src_name,
+                        InodeNum dst_dir, std::string_view dst_name) = 0;
+  virtual Result<uint64_t> Read(InodeNum ino, uint64_t offset,
+                                std::span<char> out) = 0;
+  virtual Result<uint64_t> Write(InodeNum ino, uint64_t offset,
+                                 std::span<const char> data) = 0;
+  virtual Result<KInodeAttr> GetAttr(InodeNum ino) = 0;
+  virtual Status Truncate(InodeNum ino, uint64_t size) = 0;
+  virtual Status ReadDirNames(
+      InodeNum ino,
+      const std::function<bool(std::string_view, InodeNum)>& visit) = 0;
+  // Durability point: for journaling backends, force the journal.
+  virtual Status Fsync(InodeNum ino) = 0;
+};
+
+}  // namespace aerie
+
+#endif  // AERIE_SRC_KERNELSIM_BACKEND_H_

@@ -1,0 +1,787 @@
+#include "src/kernelsim/extsim.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace aerie {
+
+namespace {
+
+// Directory entry record inside a directory's data blocks:
+//   u64 ino (0 = deleted) | u16 name_len | name bytes, padded to 8.
+constexpr uint64_t kDirentHeader = 10;
+
+uint64_t DirentBytes(size_t name_len) {
+  return (kDirentHeader + name_len + 7) & ~7ull;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ExtSimFs>> ExtSimFs::Format(RamDisk* disk,
+                                                   const Options& options) {
+  auto fs = std::unique_ptr<ExtSimFs>(new ExtSimFs(disk, options));
+  const uint64_t total = disk->block_count();
+
+  // Geometry: 1 super, inode bitmap, block bitmap, inode table (1 inode per
+  // 64 data blocks, min 1024), journal, data.
+  fs->inode_count_ = std::max<uint64_t>(4096, total / 4);  // ~1 per 16KB, like ext defaults
+  const uint64_t inode_bitmap_blocks =
+      (fs->inode_count_ / 8 + kBlockSize - 1) / kBlockSize;
+  const uint64_t block_bitmap_blocks =
+      (total / 8 + kBlockSize - 1) / kBlockSize;
+  const uint64_t inode_table_blocks =
+      (fs->inode_count_ + kInodesPerBlock - 1) / kInodesPerBlock;
+
+  fs->inode_bitmap_start_ = 1;
+  fs->block_bitmap_start_ = fs->inode_bitmap_start_ + inode_bitmap_blocks;
+  fs->inode_table_start_ = fs->block_bitmap_start_ + block_bitmap_blocks;
+  const uint64_t journal_start = fs->inode_table_start_ + inode_table_blocks;
+  fs->data_start_ = journal_start + options.journal_blocks;
+  if (fs->data_start_ + 16 >= total) {
+    return Status(ErrorCode::kOutOfSpace, "disk too small");
+  }
+  fs->journal_ = std::make_unique<Journal>(
+      disk, journal_start, options.journal_blocks,
+      options.journal_commit_overhead_ns);
+
+  for (uint64_t b = fs->data_start_; b < total; ++b) {
+    fs->free_blocks_.insert(b);
+  }
+  for (InodeNum ino = fs->inode_count_; ino >= 2; --ino) {
+    fs->free_inodes_.push_back(ino);
+  }
+
+  // Root inode (ino 1): an empty directory.
+  Journal::Tx tx = fs->journal_->Begin();
+  DiskInode root{};
+  root.mode = 2;
+  root.nlink = 2;
+  fs->StoreInode(&tx, 1, root);
+  fs->MarkBitmap(&tx, fs->inode_bitmap_start_, 0, true);
+  auto committed = fs->journal_->Commit(&tx);
+  if (!committed.ok()) {
+    return committed.status();
+  }
+  return fs;
+}
+
+ExtSimFs::DiskInode ExtSimFs::LoadInode(InodeNum ino) const {
+  DiskInode inode;
+  std::memcpy(&inode, disk_->BlockPtr(InodeBlock(ino)) + InodeOffset(ino),
+              sizeof(inode));
+  return inode;
+}
+
+void ExtSimFs::StoreInode(Journal::Tx* tx, InodeNum ino,
+                          const DiskInode& inode) {
+  tx->Write(InodeBlock(ino), InodeOffset(ino),
+            std::span<const char>(reinterpret_cast<const char*>(&inode),
+                                  sizeof(inode)));
+}
+
+void ExtSimFs::MarkBitmap(Journal::Tx* tx, uint64_t bitmap_start,
+                          uint64_t index, bool set) {
+  const uint64_t block = bitmap_start + index / (kBlockSize * 8);
+  const uint64_t byte = (index / 8) % kBlockSize;
+  char value = disk_->BlockPtr(block)[byte];
+  // Fold in pending tx updates is unnecessary: one bit per object and each
+  // object transitions once per transaction.
+  if (set) {
+    value = static_cast<char>(value | (1 << (index % 8)));
+  } else {
+    value = static_cast<char>(value & ~(1 << (index % 8)));
+  }
+  tx->Write(block, byte, std::span<const char>(&value, 1));
+}
+
+Result<uint64_t> ExtSimFs::AllocBlock(Journal::Tx* tx) {
+  if (free_blocks_.empty()) {
+    return Status(ErrorCode::kOutOfSpace, "no free blocks");
+  }
+  const uint64_t block = *free_blocks_.begin();
+  free_blocks_.erase(free_blocks_.begin());
+  MarkBitmap(tx, block_bitmap_start_, block, true);
+  return block;
+}
+
+Result<uint64_t> ExtSimFs::AllocContiguous(Journal::Tx* tx, uint64_t want,
+                                           uint64_t* got) {
+  if (free_blocks_.empty()) {
+    return Status(ErrorCode::kOutOfSpace, "no free blocks");
+  }
+  // Greedy: take the run starting at the first free block.
+  const uint64_t first = *free_blocks_.begin();
+  uint64_t run = 1;
+  while (run < want && free_blocks_.count(first + run) != 0) {
+    run++;
+  }
+  for (uint64_t i = 0; i < run; ++i) {
+    free_blocks_.erase(first + i);
+    MarkBitmap(tx, block_bitmap_start_, first + i, true);
+  }
+  *got = run;
+  return first;
+}
+
+void ExtSimFs::FreeBlock(Journal::Tx* tx, uint64_t block) {
+  free_blocks_.insert(block);
+  MarkBitmap(tx, block_bitmap_start_, block, false);
+}
+
+Result<InodeNum> ExtSimFs::AllocInode(Journal::Tx* tx) {
+  if (free_inodes_.empty()) {
+    return Status(ErrorCode::kOutOfSpace, "no free inodes");
+  }
+  const InodeNum ino = free_inodes_.back();
+  free_inodes_.pop_back();
+  MarkBitmap(tx, inode_bitmap_start_, ino - 1, true);
+  return ino;
+}
+
+void ExtSimFs::FreeInode(Journal::Tx* tx, InodeNum ino) {
+  free_inodes_.push_back(ino);
+  MarkBitmap(tx, inode_bitmap_start_, ino - 1, false);
+}
+
+// --- block mapping -----------------------------------------------------------
+
+Result<uint64_t> ExtSimFs::MapBlock(const DiskInode& inode,
+                                    uint64_t index) const {
+  if (options_.use_extents) {
+    // Extent search: inline extents, then the chained spill blocks.
+    uint64_t logical = 0;
+    for (uint32_t i = 0; i < inode.extent_count && i < 6; ++i) {
+      if (index < logical + inode.extents[i].len) {
+        return inode.extents[i].start + (index - logical);
+      }
+      logical += inode.extents[i].len;
+    }
+    uint64_t spill = inode.extent_spill;
+    uint32_t i = 6;
+    while (i < inode.extent_count && spill != 0) {
+      const auto* entries = reinterpret_cast<const DiskInode::Extent*>(
+          disk_->BlockPtr(spill));
+      const uint32_t in_block =
+          std::min<uint32_t>(inode.extent_count - i,
+                             static_cast<uint32_t>(kMaxSpillExtents));
+      for (uint32_t j = 0; j < in_block; ++j, ++i) {
+        if (index < logical + entries[j].len) {
+          return entries[j].start + (index - logical);
+        }
+        logical += entries[j].len;
+      }
+      spill = SpillNext(spill);
+    }
+    return Status(ErrorCode::kNotFound, "block not mapped");
+  }
+
+  // Indirect mapping (ext3-like).
+  if (index < 12) {
+    if (inode.direct[index] == 0) {
+      return Status(ErrorCode::kNotFound, "block not mapped");
+    }
+    return inode.direct[index];
+  }
+  index -= 12;
+  if (index < kPtrsPerBlock) {
+    if (inode.indirect == 0) {
+      return Status(ErrorCode::kNotFound, "block not mapped");
+    }
+    const auto* ptrs =
+        reinterpret_cast<const uint64_t*>(disk_->BlockPtr(inode.indirect));
+    if (ptrs[index] == 0) {
+      return Status(ErrorCode::kNotFound, "block not mapped");
+    }
+    return ptrs[index];
+  }
+  index -= kPtrsPerBlock;
+  if (inode.dindirect == 0 || index >= kPtrsPerBlock * kPtrsPerBlock) {
+    return Status(ErrorCode::kNotFound, "block not mapped");
+  }
+  const auto* level1 =
+      reinterpret_cast<const uint64_t*>(disk_->BlockPtr(inode.dindirect));
+  const uint64_t l1 = index / kPtrsPerBlock;
+  if (level1[l1] == 0) {
+    return Status(ErrorCode::kNotFound, "block not mapped");
+  }
+  const auto* level2 =
+      reinterpret_cast<const uint64_t*>(disk_->BlockPtr(level1[l1]));
+  if (level2[index % kPtrsPerBlock] == 0) {
+    return Status(ErrorCode::kNotFound, "block not mapped");
+  }
+  return level2[index % kPtrsPerBlock];
+}
+
+uint64_t ExtSimFs::SpillNext(uint64_t spill_block) const {
+  uint64_t next;
+  std::memcpy(&next, disk_->BlockPtr(spill_block) + kBlockSize - 8, 8);
+  return next;
+}
+
+uint64_t ExtSimFs::TailBlocks(const DiskInode& inode) const {
+  uint64_t tail = 0;
+  for (uint32_t i = 0; i < inode.extent_count && i < 6; ++i) {
+    tail += inode.extents[i].len;
+  }
+  uint64_t spill = inode.extent_spill;
+  uint32_t i = 6;
+  while (i < inode.extent_count && spill != 0) {
+    const auto* entries =
+        reinterpret_cast<const DiskInode::Extent*>(disk_->BlockPtr(spill));
+    const uint32_t in_block = std::min<uint32_t>(
+        inode.extent_count - i, static_cast<uint32_t>(kMaxSpillExtents));
+    for (uint32_t j = 0; j < in_block; ++j, ++i) {
+      tail += entries[j].len;
+    }
+    spill = SpillNext(spill);
+  }
+  return tail;
+}
+
+Status ExtSimFs::AppendExtentRun(Journal::Tx* tx, DiskInode* inode,
+                                 uint64_t start, uint64_t len) {
+  // Merge into the last inline extent when contiguous.
+  if (inode->extent_count > 0 && inode->extent_count <= 6) {
+    DiskInode::Extent& last = inode->extents[inode->extent_count - 1];
+    if (last.start + last.len == start) {
+      last.len += len;
+      return OkStatus();
+    }
+  }
+  if (inode->extent_count < 6) {
+    inode->extents[inode->extent_count] = {start, len};
+    inode->extent_count++;
+    return OkStatus();
+  }
+  // Spill chain: walk to the block holding this slot, extending the chain
+  // as needed (255 extents per spill block + a next pointer).
+  uint64_t slot = inode->extent_count - 6;
+  if (inode->extent_spill == 0) {
+    AERIE_ASSIGN_OR_RETURN(inode->extent_spill, AllocBlock(tx));
+    std::vector<char> zero(kBlockSize, 0);
+    tx->Write(inode->extent_spill, 0,
+              std::span<const char>(zero.data(), zero.size()));
+  }
+  uint64_t spill = inode->extent_spill;
+  while (slot >= kMaxSpillExtents) {
+    uint64_t next = SpillNext(spill);
+    if (next == 0) {
+      AERIE_ASSIGN_OR_RETURN(next, AllocBlock(tx));
+      std::vector<char> zero(kBlockSize, 0);
+      tx->Write(next, 0, std::span<const char>(zero.data(), zero.size()));
+      tx->Write(spill, kBlockSize - 8,
+                std::span<const char>(reinterpret_cast<const char*>(&next),
+                                      8));
+    }
+    spill = next;
+    slot -= kMaxSpillExtents;
+  }
+  const DiskInode::Extent e{start, len};
+  tx->Write(spill, slot * sizeof(e),
+            std::span<const char>(reinterpret_cast<const char*>(&e),
+                                  sizeof(e)));
+  inode->extent_count++;
+  return OkStatus();
+}
+
+Status ExtSimFs::ExtendExtents(Journal::Tx* tx, DiskInode* inode,
+                               uint64_t last_index,
+                               std::map<uint64_t, uint64_t>* fresh) {
+  uint64_t tail = TailBlocks(*inode);
+  while (tail <= last_index) {
+    uint64_t got = 0;
+    AERIE_ASSIGN_OR_RETURN(uint64_t start,
+                           AllocContiguous(tx, last_index - tail + 1, &got));
+    AERIE_RETURN_IF_ERROR(AppendExtentRun(tx, inode, start, got));
+    for (uint64_t i = 0; i < got; ++i) {
+      (*fresh)[tail + i] = start + i;
+    }
+    tail += got;
+  }
+  return OkStatus();
+}
+
+Result<uint64_t> ExtSimFs::EnsureBlock(Journal::Tx* tx, DiskInode* inode,
+                                       uint64_t index) {
+  auto mapped = MapBlock(*inode, index);
+  if (mapped.ok()) {
+    return mapped;
+  }
+
+  if (options_.use_extents) {
+    // Append-only extent growth (files written sequentially coalesce into
+    // few extents — ext4's core advantage). Multi-block appends should go
+    // through ExtendExtents, which returns the fresh mapping directly; this
+    // single-block path serves directory growth.
+    const uint64_t tail = TailBlocks(*inode);
+    if (index != tail) {
+      return Status(ErrorCode::kNotSupported,
+                    "extent files grow append-only");
+    }
+    AERIE_ASSIGN_OR_RETURN(uint64_t block, AllocBlock(tx));
+    AERIE_RETURN_IF_ERROR(AppendExtentRun(tx, inode, block, 1));
+    return block;
+  }
+
+  // Indirect mapping.
+  AERIE_ASSIGN_OR_RETURN(uint64_t block, AllocBlock(tx));
+  if (index < 12) {
+    inode->direct[index] = block;
+    return block;
+  }
+  uint64_t rel = index - 12;
+  if (rel < kPtrsPerBlock) {
+    if (inode->indirect == 0) {
+      AERIE_ASSIGN_OR_RETURN(inode->indirect, AllocBlock(tx));
+      std::vector<char> zero(kBlockSize, 0);
+      tx->Write(inode->indirect, 0,
+                std::span<const char>(zero.data(), zero.size()));
+    }
+    tx->Write(inode->indirect, rel * 8,
+              std::span<const char>(reinterpret_cast<const char*>(&block),
+                                    8));
+    return block;
+  }
+  rel -= kPtrsPerBlock;
+  if (inode->dindirect == 0) {
+    AERIE_ASSIGN_OR_RETURN(inode->dindirect, AllocBlock(tx));
+    std::vector<char> zero(kBlockSize, 0);
+    tx->Write(inode->dindirect, 0,
+              std::span<const char>(zero.data(), zero.size()));
+  }
+  const uint64_t l1 = rel / kPtrsPerBlock;
+  auto* level1 =
+      reinterpret_cast<const uint64_t*>(disk_->BlockPtr(inode->dindirect));
+  uint64_t l1_block = level1[l1];
+  if (l1_block == 0) {
+    AERIE_ASSIGN_OR_RETURN(l1_block, AllocBlock(tx));
+    std::vector<char> zero(kBlockSize, 0);
+    tx->Write(l1_block, 0, std::span<const char>(zero.data(), zero.size()));
+    tx->Write(inode->dindirect, l1 * 8,
+              std::span<const char>(
+                  reinterpret_cast<const char*>(&l1_block), 8));
+  }
+  tx->Write(l1_block, (rel % kPtrsPerBlock) * 8,
+            std::span<const char>(reinterpret_cast<const char*>(&block), 8));
+  return block;
+}
+
+void ExtSimFs::FreeAllBlocks(Journal::Tx* tx, DiskInode* inode) {
+  if (options_.use_extents) {
+    for (uint32_t i = 0; i < inode->extent_count && i < 6; ++i) {
+      for (uint64_t b = 0; b < inode->extents[i].len; ++b) {
+        FreeBlock(tx, inode->extents[i].start + b);
+      }
+    }
+    uint64_t spill = inode->extent_spill;
+    uint32_t i = 6;
+    while (spill != 0) {
+      const auto* entries =
+          reinterpret_cast<const DiskInode::Extent*>(disk_->BlockPtr(spill));
+      const uint32_t in_block =
+          i < inode->extent_count
+              ? std::min<uint32_t>(inode->extent_count - i,
+                                   static_cast<uint32_t>(kMaxSpillExtents))
+              : 0;
+      for (uint32_t j = 0; j < in_block; ++j, ++i) {
+        for (uint64_t b = 0; b < entries[j].len; ++b) {
+          FreeBlock(tx, entries[j].start + b);
+        }
+      }
+      const uint64_t next = SpillNext(spill);
+      FreeBlock(tx, spill);
+      spill = next;
+    }
+    inode->extent_count = 0;
+    inode->extent_spill = 0;
+  } else {
+    for (auto& d : inode->direct) {
+      if (d != 0) {
+        FreeBlock(tx, d);
+        d = 0;
+      }
+    }
+    if (inode->indirect != 0) {
+      const auto* ptrs =
+          reinterpret_cast<const uint64_t*>(disk_->BlockPtr(inode->indirect));
+      for (uint64_t i = 0; i < kPtrsPerBlock; ++i) {
+        if (ptrs[i] != 0) {
+          FreeBlock(tx, ptrs[i]);
+        }
+      }
+      FreeBlock(tx, inode->indirect);
+      inode->indirect = 0;
+    }
+    if (inode->dindirect != 0) {
+      const auto* level1 = reinterpret_cast<const uint64_t*>(
+          disk_->BlockPtr(inode->dindirect));
+      for (uint64_t i = 0; i < kPtrsPerBlock; ++i) {
+        if (level1[i] == 0) {
+          continue;
+        }
+        const auto* level2 =
+            reinterpret_cast<const uint64_t*>(disk_->BlockPtr(level1[i]));
+        for (uint64_t j = 0; j < kPtrsPerBlock; ++j) {
+          if (level2[j] != 0) {
+            FreeBlock(tx, level2[j]);
+          }
+        }
+        FreeBlock(tx, level1[i]);
+      }
+      FreeBlock(tx, inode->dindirect);
+      inode->dindirect = 0;
+    }
+  }
+  inode->size = 0;
+}
+
+// --- directory entries --------------------------------------------------------
+
+Result<ExtSimFs::DirentRef> ExtSimFs::FindDirent(const DiskInode& dir,
+                                                 std::string_view name) {
+  const uint64_t blocks = (dir.size + kBlockSize - 1) / kBlockSize;
+  for (uint64_t b = 0; b < blocks; ++b) {
+    auto device_block = MapBlock(dir, b);
+    if (!device_block.ok()) {
+      continue;
+    }
+    const char* data = disk_->BlockPtr(*device_block);
+    const uint64_t limit =
+        std::min<uint64_t>(kBlockSize, dir.size - b * kBlockSize);
+    uint64_t pos = 0;
+    while (pos + kDirentHeader <= limit) {
+      uint64_t ino;
+      uint16_t name_len;
+      std::memcpy(&ino, data + pos, 8);
+      std::memcpy(&name_len, data + pos + 8, 2);
+      if (name_len == 0) {
+        break;  // end of entries in this block
+      }
+      if (ino != 0 && name_len == name.size() &&
+          std::memcmp(data + pos + kDirentHeader, name.data(), name_len) ==
+              0) {
+        return DirentRef{*device_block, pos, ino};
+      }
+      pos += DirentBytes(name_len);
+    }
+  }
+  return Status(ErrorCode::kNotFound, std::string(name));
+}
+
+Status ExtSimFs::AppendDirent(Journal::Tx* tx, InodeNum dir_ino,
+                              DiskInode* dir, std::string_view name,
+                              InodeNum ino) {
+  const uint64_t need = DirentBytes(name.size());
+  // Find space at the tail of the last block, or start a fresh block.
+  uint64_t in_block = dir->size % kBlockSize;
+  uint64_t block_index = dir->size / kBlockSize;
+  if (in_block + need > kBlockSize) {
+    // Pad to the next block boundary.
+    dir->size = (block_index + 1) * kBlockSize;
+    block_index++;
+    in_block = 0;
+  }
+  AERIE_ASSIGN_OR_RETURN(uint64_t device_block,
+                         EnsureBlock(tx, dir, block_index));
+  std::vector<char> entry(need, 0);
+  const uint64_t ino64 = ino;
+  const uint16_t name_len = static_cast<uint16_t>(name.size());
+  std::memcpy(entry.data(), &ino64, 8);
+  std::memcpy(entry.data() + 8, &name_len, 2);
+  std::memcpy(entry.data() + kDirentHeader, name.data(), name.size());
+  tx->Write(device_block, in_block,
+            std::span<const char>(entry.data(), entry.size()));
+  dir->size += need;
+  StoreInode(tx, dir_ino, *dir);
+  return OkStatus();
+}
+
+void ExtSimFs::DropInodeRef(Journal::Tx* tx, InodeNum ino) {
+  DiskInode inode = LoadInode(ino);
+  if (inode.nlink > 0) {
+    inode.nlink--;
+  }
+  if (inode.nlink == 0 || (inode.mode == 2 && inode.nlink <= 1)) {
+    FreeAllBlocks(tx, &inode);
+    inode.mode = 0;
+    StoreInode(tx, ino, inode);
+    FreeInode(tx, ino);
+  } else {
+    StoreInode(tx, ino, inode);
+  }
+}
+
+// --- backend interface ---------------------------------------------------------
+
+Result<InodeNum> ExtSimFs::Lookup(InodeNum dir, std::string_view name) {
+  std::lock_guard lock(mu_);
+  DiskInode d = LoadInode(dir);
+  if (d.mode != 2) {
+    return Status(ErrorCode::kNotDirectory, "bad directory inode");
+  }
+  auto ref = FindDirent(d, name);
+  if (!ref.ok()) {
+    return ref.status();
+  }
+  return ref->ino;
+}
+
+Result<InodeNum> ExtSimFs::Create(InodeNum dir, std::string_view name,
+                                  bool is_dir) {
+  std::lock_guard lock(mu_);
+  DiskInode d = LoadInode(dir);
+  if (d.mode != 2) {
+    return Status(ErrorCode::kNotDirectory, "bad directory inode");
+  }
+  if (FindDirent(d, name).ok()) {
+    return Status(ErrorCode::kAlreadyExists, std::string(name));
+  }
+  Journal::Tx tx = journal_->Begin();
+  AERIE_ASSIGN_OR_RETURN(InodeNum ino, AllocInode(&tx));
+  DiskInode node{};
+  node.mode = is_dir ? 2 : 1;
+  node.nlink = is_dir ? 2 : 1;
+  StoreInode(&tx, ino, node);
+  AERIE_RETURN_IF_ERROR(AppendDirent(&tx, dir, &d, name, ino));
+  AERIE_RETURN_IF_ERROR(journal_->Commit(&tx).status());
+  return ino;
+}
+
+Status ExtSimFs::Unlink(InodeNum dir, std::string_view name) {
+  std::lock_guard lock(mu_);
+  DiskInode d = LoadInode(dir);
+  if (d.mode != 2) {
+    return Status(ErrorCode::kNotDirectory, "bad directory inode");
+  }
+  auto ref = FindDirent(d, name);
+  if (!ref.ok()) {
+    return ref.status();
+  }
+  DiskInode victim = LoadInode(ref->ino);
+  if (victim.mode == 2) {
+    // Empty check: any live dirent?
+    bool empty = true;
+    (void)ReadDirNamesLockedHelper(victim, [&](std::string_view, InodeNum) {
+      empty = false;
+      return false;
+    });
+    if (!empty) {
+      return Status(ErrorCode::kNotEmpty, std::string(name));
+    }
+  }
+  Journal::Tx tx = journal_->Begin();
+  const uint64_t zero = 0;
+  tx.Write(ref->block, ref->offset,
+           std::span<const char>(reinterpret_cast<const char*>(&zero), 8));
+  DropInodeRef(&tx, ref->ino);
+  return journal_->Commit(&tx).status();
+}
+
+Status ExtSimFs::Rename(InodeNum src_dir, std::string_view src_name,
+                        InodeNum dst_dir, std::string_view dst_name) {
+  std::lock_guard lock(mu_);
+  DiskInode sd = LoadInode(src_dir);
+  DiskInode dd = LoadInode(dst_dir);
+  if (sd.mode != 2 || dd.mode != 2) {
+    return Status(ErrorCode::kNotDirectory, "bad directory inode");
+  }
+  auto src = FindDirent(sd, src_name);
+  if (!src.ok()) {
+    return src.status();
+  }
+  Journal::Tx tx = journal_->Begin();
+  auto dst = FindDirent(dd, dst_name);
+  if (dst.ok()) {
+    const uint64_t zero = 0;
+    tx.Write(dst->block, dst->offset,
+             std::span<const char>(reinterpret_cast<const char*>(&zero), 8));
+    DropInodeRef(&tx, dst->ino);
+  }
+  const uint64_t zero = 0;
+  tx.Write(src->block, src->offset,
+           std::span<const char>(reinterpret_cast<const char*>(&zero), 8));
+  // Reload dd in case src removal touched shared state (same dir).
+  if (src_dir == dst_dir) {
+    dd = sd;
+  }
+  AERIE_RETURN_IF_ERROR(AppendDirent(&tx, dst_dir, &dd, dst_name, src->ino));
+  return journal_->Commit(&tx).status();
+}
+
+Result<uint64_t> ExtSimFs::Read(InodeNum ino, uint64_t offset,
+                                std::span<char> out) {
+  std::lock_guard lock(mu_);
+  DiskInode inode = LoadInode(ino);
+  if (inode.mode != 1) {
+    return Status(ErrorCode::kBadHandle, "bad file inode");
+  }
+  if (offset >= inode.size) {
+    return 0;
+  }
+  const uint64_t want = std::min<uint64_t>(out.size(), inode.size - offset);
+  uint64_t done = 0;
+  while (done < want) {
+    const uint64_t pos = offset + done;
+    const uint64_t index = pos / kBlockSize;
+    const uint64_t in_block = pos % kBlockSize;
+    const uint64_t chunk = std::min(want - done, kBlockSize - in_block);
+    auto block = MapBlock(inode, index);
+    if (block.ok()) {
+      std::memcpy(out.data() + done, disk_->BlockPtr(*block) + in_block,
+                  chunk);
+    } else {
+      std::memset(out.data() + done, 0, chunk);
+    }
+    done += chunk;
+  }
+  return done;
+}
+
+Result<uint64_t> ExtSimFs::Write(InodeNum ino, uint64_t offset,
+                                 std::span<const char> data) {
+  std::lock_guard lock(mu_);
+  DiskInode inode = LoadInode(ino);
+  if (inode.mode != 1) {
+    return Status(ErrorCode::kBadHandle, "bad file inode");
+  }
+  Journal::Tx tx = journal_->Begin();
+  bool metadata_dirty = false;
+
+  // Extent mapping grows in whole runs up front: spill entries live in the
+  // transaction buffer, so MapBlock cannot see them until commit. `fresh`
+  // carries this op's new logical->device mappings.
+  std::map<uint64_t, uint64_t> fresh;
+  if (options_.use_extents && !data.empty()) {
+    const uint64_t last_index = (offset + data.size() - 1) / kBlockSize;
+    if (last_index >= TailBlocks(inode)) {
+      AERIE_RETURN_IF_ERROR(ExtendExtents(&tx, &inode, last_index, &fresh));
+      metadata_dirty = true;
+    }
+  }
+
+  uint64_t done = 0;
+  while (done < data.size()) {
+    const uint64_t pos = offset + done;
+    const uint64_t index = pos / kBlockSize;
+    const uint64_t in_block = pos % kBlockSize;
+    const uint64_t chunk =
+        std::min<uint64_t>(data.size() - done, kBlockSize - in_block);
+    uint64_t device_block;
+    auto fresh_it = fresh.find(index);
+    if (fresh_it != fresh.end()) {
+      device_block = fresh_it->second;
+    } else {
+      auto block = MapBlock(inode, index);
+      if (block.ok()) {
+        device_block = *block;
+      } else {
+        AERIE_ASSIGN_OR_RETURN(device_block,
+                               EnsureBlock(&tx, &inode, index));
+        metadata_dirty = true;
+      }
+    }
+    // Ordered mode: data reaches the device before the metadata commit.
+    AERIE_RETURN_IF_ERROR(disk_->Write(
+        device_block, in_block,
+        std::span<const char>(data.data() + done, chunk)));
+    done += chunk;
+  }
+  if (offset + data.size() > inode.size) {
+    inode.size = offset + data.size();
+    metadata_dirty = true;
+  }
+  if (metadata_dirty) {
+    StoreInode(&tx, ino, inode);
+    AERIE_RETURN_IF_ERROR(journal_->Commit(&tx).status());
+  }
+  return data.size();
+}
+
+Result<KInodeAttr> ExtSimFs::GetAttr(InodeNum ino) {
+  std::lock_guard lock(mu_);
+  DiskInode inode = LoadInode(ino);
+  if (inode.mode == 0) {
+    return Status(ErrorCode::kNotFound, "no such inode");
+  }
+  KInodeAttr attr;
+  attr.ino = ino;
+  attr.is_dir = inode.mode == 2;
+  attr.size = inode.size;
+  attr.nlink = inode.nlink;
+  return attr;
+}
+
+Status ExtSimFs::Truncate(InodeNum ino, uint64_t size) {
+  std::lock_guard lock(mu_);
+  DiskInode inode = LoadInode(ino);
+  if (inode.mode != 1) {
+    return Status(ErrorCode::kBadHandle, "bad file inode");
+  }
+  Journal::Tx tx = journal_->Begin();
+  if (size == 0) {
+    FreeAllBlocks(&tx, &inode);
+  }
+  // Partial truncation keeps blocks (lazy, like ext's orphan processing);
+  // size is authoritative for reads.
+  inode.size = size;
+  StoreInode(&tx, ino, inode);
+  return journal_->Commit(&tx).status();
+}
+
+Status ExtSimFs::ReadDirNamesLockedHelper(
+    const DiskInode& dir,
+    const std::function<bool(std::string_view, InodeNum)>& visit) {
+  const uint64_t blocks = (dir.size + kBlockSize - 1) / kBlockSize;
+  for (uint64_t b = 0; b < blocks; ++b) {
+    auto device_block = MapBlock(dir, b);
+    if (!device_block.ok()) {
+      continue;
+    }
+    const char* data = disk_->BlockPtr(*device_block);
+    const uint64_t limit =
+        std::min<uint64_t>(kBlockSize, dir.size - b * kBlockSize);
+    uint64_t pos = 0;
+    while (pos + kDirentHeader <= limit) {
+      uint64_t ino;
+      uint16_t name_len;
+      std::memcpy(&ino, data + pos, 8);
+      std::memcpy(&name_len, data + pos + 8, 2);
+      if (name_len == 0) {
+        break;
+      }
+      if (ino != 0) {
+        if (!visit(std::string_view(data + pos + kDirentHeader, name_len),
+                   ino)) {
+          return OkStatus();
+        }
+      }
+      pos += DirentBytes(name_len);
+    }
+  }
+  return OkStatus();
+}
+
+Status ExtSimFs::ReadDirNames(
+    InodeNum ino,
+    const std::function<bool(std::string_view, InodeNum)>& visit) {
+  std::lock_guard lock(mu_);
+  DiskInode dir = LoadInode(ino);
+  if (dir.mode != 2) {
+    return Status(ErrorCode::kNotDirectory, "bad directory inode");
+  }
+  return ReadDirNamesLockedHelper(dir, visit);
+}
+
+Status ExtSimFs::Fsync(InodeNum ino) {
+  (void)ino;  // every transaction commits synchronously
+  return OkStatus();
+}
+
+uint64_t ExtSimFs::blocks_free() const {
+  std::lock_guard lock(mu_);
+  return free_blocks_.size();
+}
+
+}  // namespace aerie

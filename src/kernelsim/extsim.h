@@ -1,0 +1,167 @@
+// ExtSimFs: a block-based journaling file system in the ext3/ext4 mould,
+// used as the paper's kernel-FS comparison points (§7.1).
+//
+// One implementation, two personalities:
+//   * ext3-like — indirect block mapping (12 direct pointers, an indirect
+//     block, a double-indirect block) + ordered-mode metadata journaling;
+//   * ext4-like — extent mapping (runs of contiguous blocks held in the
+//     inode, spilling to an extent block) + the same journal.
+//
+// All metadata mutations (inode table blocks, allocation bitmaps, directory
+// data blocks) go through the JBD-style journal; file data is written to the
+// device first (ordered mode). Every device write is charged by the RAM
+// disk's streaming-write model, so Figure 6's latency sweep affects these
+// baselines at block granularity exactly as the paper's modified brd did.
+#ifndef AERIE_SRC_KERNELSIM_EXTSIM_H_
+#define AERIE_SRC_KERNELSIM_EXTSIM_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "src/kernelsim/backend.h"
+#include "src/kernelsim/blockdev.h"
+#include "src/kernelsim/journal.h"
+
+namespace aerie {
+
+class ExtSimFs final : public KernelFsBackend {
+ public:
+  struct Options {
+    bool use_extents = false;      // false: ext3-like, true: ext4-like
+    uint64_t journal_blocks = 2048;
+    // JBD software overhead per commit (see Journal); ext3's JBD1 commits
+    // are costlier than ext4's JBD2.
+    uint64_t journal_commit_overhead_ns = 0;
+  };
+
+  // Formats a fresh file system over the whole disk.
+  static Result<std::unique_ptr<ExtSimFs>> Format(RamDisk* disk,
+                                                  const Options& options);
+
+  InodeNum root_ino() const override { return 1; }
+
+  Result<InodeNum> Lookup(InodeNum dir, std::string_view name) override;
+  Result<InodeNum> Create(InodeNum dir, std::string_view name,
+                          bool is_dir) override;
+  Status Unlink(InodeNum dir, std::string_view name) override;
+  Status Rename(InodeNum src_dir, std::string_view src_name,
+                InodeNum dst_dir, std::string_view dst_name) override;
+  Result<uint64_t> Read(InodeNum ino, uint64_t offset,
+                        std::span<char> out) override;
+  Result<uint64_t> Write(InodeNum ino, uint64_t offset,
+                         std::span<const char> data) override;
+  Result<KInodeAttr> GetAttr(InodeNum ino) override;
+  Status Truncate(InodeNum ino, uint64_t size) override;
+  Status ReadDirNames(
+      InodeNum ino,
+      const std::function<bool(std::string_view, InodeNum)>& visit) override;
+  Status Fsync(InodeNum ino) override;
+
+  Journal* journal() { return journal_.get(); }
+  uint64_t blocks_free() const;
+
+ private:
+  // On-disk inode (256 bytes; 16 per block).
+  struct DiskInode {
+    uint32_t mode;  // 0 = free, 1 = file, 2 = directory
+    uint32_t nlink;
+    uint64_t size;
+    uint64_t direct[12];
+    uint64_t indirect;
+    uint64_t dindirect;
+    struct Extent {
+      uint64_t start;
+      uint64_t len;
+    } extents[6];
+    uint64_t extent_spill;  // block holding up to 256 more extents
+    uint32_t extent_count;
+    uint32_t pad;
+  };
+  static_assert(sizeof(DiskInode) <= 256, "inode must fit its slot");
+  static constexpr uint64_t kInodeSlot = 256;
+  static constexpr uint64_t kInodesPerBlock = kBlockSize / kInodeSlot;
+  static constexpr uint64_t kPtrsPerBlock = kBlockSize / 8;
+  // 255 extents per spill block; the last 8 bytes chain to the next block.
+  static constexpr uint64_t kMaxSpillExtents = (kBlockSize - 8) / 16;
+
+  ExtSimFs(RamDisk* disk, const Options& options)
+      : disk_(disk), options_(options) {}
+
+  // --- inode table access ---
+  uint64_t InodeBlock(InodeNum ino) const {
+    return inode_table_start_ + (ino - 1) / kInodesPerBlock;
+  }
+  uint64_t InodeOffset(InodeNum ino) const {
+    return ((ino - 1) % kInodesPerBlock) * kInodeSlot;
+  }
+  DiskInode LoadInode(InodeNum ino) const;
+  void StoreInode(Journal::Tx* tx, InodeNum ino, const DiskInode& inode);
+
+  // --- allocation (volatile free lists + journaled bitmaps) ---
+  Result<uint64_t> AllocBlock(Journal::Tx* tx);
+  Result<uint64_t> AllocContiguous(Journal::Tx* tx, uint64_t want,
+                                   uint64_t* got);
+  void FreeBlock(Journal::Tx* tx, uint64_t block);
+  Result<InodeNum> AllocInode(Journal::Tx* tx);
+  void FreeInode(Journal::Tx* tx, InodeNum ino);
+  void MarkBitmap(Journal::Tx* tx, uint64_t bitmap_start, uint64_t index,
+                  bool set);
+
+  // --- block mapping ---
+  Result<uint64_t> MapBlock(const DiskInode& inode, uint64_t index) const;
+  // Committed logical-block count of an extent-mapped file.
+  uint64_t TailBlocks(const DiskInode& inode) const;
+  // Next spill block in the chain (0 = end).
+  uint64_t SpillNext(uint64_t spill_block) const;
+  // Appends an extent run (merging with the last inline extent if
+  // contiguous); spill entries are written through `tx`.
+  Status AppendExtentRun(Journal::Tx* tx, DiskInode* inode, uint64_t start,
+                         uint64_t len);
+  // Grows the extent mapping to cover logical blocks up to `last_index`,
+  // recording the new logical->device pairs in `fresh` (they are invisible
+  // to MapBlock until the transaction commits).
+  Status ExtendExtents(Journal::Tx* tx, DiskInode* inode,
+                       uint64_t last_index,
+                       std::map<uint64_t, uint64_t>* fresh);
+  // Ensures block `index` is mapped; allocates through `tx` as needed.
+  Result<uint64_t> EnsureBlock(Journal::Tx* tx, DiskInode* inode,
+                               uint64_t index);
+  void FreeAllBlocks(Journal::Tx* tx, DiskInode* inode);
+
+  // --- directory entries ---
+  struct DirentRef {
+    uint64_t block;   // device block holding the entry
+    uint64_t offset;  // offset within the block
+    InodeNum ino;
+  };
+  Result<DirentRef> FindDirent(const DiskInode& dir, std::string_view name);
+  Status AppendDirent(Journal::Tx* tx, InodeNum dir_ino, DiskInode* dir,
+                      std::string_view name, InodeNum ino);
+  // Decrements nlink; frees inode + blocks at zero.
+  void DropInodeRef(Journal::Tx* tx, InodeNum ino);
+  // ReadDirNames body without taking mu_ (callers hold it).
+  Status ReadDirNamesLockedHelper(
+      const DiskInode& dir,
+      const std::function<bool(std::string_view, InodeNum)>& visit);
+
+  RamDisk* disk_;
+  Options options_;
+  std::unique_ptr<Journal> journal_;
+
+  uint64_t inode_bitmap_start_ = 0;
+  uint64_t block_bitmap_start_ = 0;
+  uint64_t inode_table_start_ = 0;
+  uint64_t data_start_ = 0;
+  uint64_t inode_count_ = 0;
+
+  mutable std::mutex mu_;
+  std::set<uint64_t> free_blocks_;
+  std::vector<InodeNum> free_inodes_;
+};
+
+}  // namespace aerie
+
+#endif  // AERIE_SRC_KERNELSIM_EXTSIM_H_

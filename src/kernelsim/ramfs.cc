@@ -1,0 +1,178 @@
+#include "src/kernelsim/ramfs.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace aerie {
+
+RamFsBackend::RamFsBackend() {
+  auto root = std::make_unique<Node>();
+  root->is_dir = true;
+  root->nlink = 2;
+  nodes_[1] = std::move(root);
+}
+
+Result<InodeNum> RamFsBackend::Lookup(InodeNum dir, std::string_view name) {
+  std::lock_guard lock(mu_);
+  Node* d = Find(dir);
+  if (d == nullptr || !d->is_dir) {
+    return Status(ErrorCode::kNotDirectory, "bad directory inode");
+  }
+  auto it = d->children.find(std::string(name));
+  if (it == d->children.end()) {
+    return Status(ErrorCode::kNotFound, std::string(name));
+  }
+  return it->second;
+}
+
+Result<InodeNum> RamFsBackend::Create(InodeNum dir, std::string_view name,
+                                      bool is_dir) {
+  std::lock_guard lock(mu_);
+  Node* d = Find(dir);
+  if (d == nullptr || !d->is_dir) {
+    return Status(ErrorCode::kNotDirectory, "bad directory inode");
+  }
+  const std::string key(name);
+  if (d->children.count(key) != 0) {
+    return Status(ErrorCode::kAlreadyExists, key);
+  }
+  const InodeNum ino = next_ino_++;
+  auto node = std::make_unique<Node>();
+  node->is_dir = is_dir;
+  node->nlink = is_dir ? 2 : 1;
+  nodes_[ino] = std::move(node);
+  d->children[key] = ino;
+  return ino;
+}
+
+void RamFsBackend::UnrefLocked(InodeNum ino) {
+  Node* n = Find(ino);
+  if (n == nullptr) {
+    return;
+  }
+  if (n->nlink > 0) {
+    n->nlink--;
+  }
+  if (n->nlink == 0 || (n->is_dir && n->nlink <= 1)) {
+    nodes_.erase(ino);
+  }
+}
+
+Status RamFsBackend::Unlink(InodeNum dir, std::string_view name) {
+  std::lock_guard lock(mu_);
+  Node* d = Find(dir);
+  if (d == nullptr || !d->is_dir) {
+    return Status(ErrorCode::kNotDirectory, "bad directory inode");
+  }
+  auto it = d->children.find(std::string(name));
+  if (it == d->children.end()) {
+    return Status(ErrorCode::kNotFound, std::string(name));
+  }
+  Node* victim = Find(it->second);
+  if (victim != nullptr && victim->is_dir && !victim->children.empty()) {
+    return Status(ErrorCode::kNotEmpty, std::string(name));
+  }
+  UnrefLocked(it->second);
+  d->children.erase(it);
+  return OkStatus();
+}
+
+Status RamFsBackend::Rename(InodeNum src_dir, std::string_view src_name,
+                            InodeNum dst_dir, std::string_view dst_name) {
+  std::lock_guard lock(mu_);
+  Node* sd = Find(src_dir);
+  Node* dd = Find(dst_dir);
+  if (sd == nullptr || dd == nullptr || !sd->is_dir || !dd->is_dir) {
+    return Status(ErrorCode::kNotDirectory, "bad directory inode");
+  }
+  auto sit = sd->children.find(std::string(src_name));
+  if (sit == sd->children.end()) {
+    return Status(ErrorCode::kNotFound, std::string(src_name));
+  }
+  const InodeNum moved = sit->second;
+  const std::string dst_key(dst_name);
+  auto dit = dd->children.find(dst_key);
+  if (dit != dd->children.end()) {
+    Node* victim = Find(dit->second);
+    if (victim != nullptr && victim->is_dir && !victim->children.empty()) {
+      return Status(ErrorCode::kNotEmpty, dst_key);
+    }
+    UnrefLocked(dit->second);
+    dd->children.erase(dit);
+  }
+  sd->children.erase(sit);
+  dd->children[dst_key] = moved;
+  return OkStatus();
+}
+
+Result<uint64_t> RamFsBackend::Read(InodeNum ino, uint64_t offset,
+                                    std::span<char> out) {
+  std::lock_guard lock(mu_);
+  Node* n = Find(ino);
+  if (n == nullptr || n->is_dir) {
+    return Status(ErrorCode::kBadHandle, "bad file inode");
+  }
+  if (offset >= n->data.size()) {
+    return 0;
+  }
+  const uint64_t want =
+      std::min<uint64_t>(out.size(), n->data.size() - offset);
+  std::memcpy(out.data(), n->data.data() + offset, want);
+  return want;
+}
+
+Result<uint64_t> RamFsBackend::Write(InodeNum ino, uint64_t offset,
+                                     std::span<const char> data) {
+  std::lock_guard lock(mu_);
+  Node* n = Find(ino);
+  if (n == nullptr || n->is_dir) {
+    return Status(ErrorCode::kBadHandle, "bad file inode");
+  }
+  if (offset + data.size() > n->data.size()) {
+    n->data.resize(offset + data.size());
+  }
+  std::memcpy(n->data.data() + offset, data.data(), data.size());
+  return data.size();
+}
+
+Result<KInodeAttr> RamFsBackend::GetAttr(InodeNum ino) {
+  std::lock_guard lock(mu_);
+  Node* n = Find(ino);
+  if (n == nullptr) {
+    return Status(ErrorCode::kNotFound, "no such inode");
+  }
+  KInodeAttr attr;
+  attr.ino = ino;
+  attr.is_dir = n->is_dir;
+  attr.size = n->is_dir ? n->children.size() : n->data.size();
+  attr.nlink = n->nlink;
+  return attr;
+}
+
+Status RamFsBackend::Truncate(InodeNum ino, uint64_t size) {
+  std::lock_guard lock(mu_);
+  Node* n = Find(ino);
+  if (n == nullptr || n->is_dir) {
+    return Status(ErrorCode::kBadHandle, "bad file inode");
+  }
+  n->data.resize(size);
+  return OkStatus();
+}
+
+Status RamFsBackend::ReadDirNames(
+    InodeNum ino,
+    const std::function<bool(std::string_view, InodeNum)>& visit) {
+  std::lock_guard lock(mu_);
+  Node* n = Find(ino);
+  if (n == nullptr || !n->is_dir) {
+    return Status(ErrorCode::kNotDirectory, "bad directory inode");
+  }
+  for (const auto& [name, child] : n->children) {
+    if (!visit(name, child)) {
+      break;
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace aerie

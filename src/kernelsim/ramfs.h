@@ -1,0 +1,62 @@
+// RamFS backend: the VFS page cache *is* the file system (paper §7.1:
+// "RamFS uses the VFS page cache and dentry cache as an in-memory file
+// system... no consistency guarantees against crashes; it serves as the
+// best-performing kernel-mode file system").
+#ifndef AERIE_SRC_KERNELSIM_RAMFS_H_
+#define AERIE_SRC_KERNELSIM_RAMFS_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/kernelsim/backend.h"
+
+namespace aerie {
+
+class RamFsBackend final : public KernelFsBackend {
+ public:
+  RamFsBackend();
+
+  InodeNum root_ino() const override { return 1; }
+
+  Result<InodeNum> Lookup(InodeNum dir, std::string_view name) override;
+  Result<InodeNum> Create(InodeNum dir, std::string_view name,
+                          bool is_dir) override;
+  Status Unlink(InodeNum dir, std::string_view name) override;
+  Status Rename(InodeNum src_dir, std::string_view src_name,
+                InodeNum dst_dir, std::string_view dst_name) override;
+  Result<uint64_t> Read(InodeNum ino, uint64_t offset,
+                        std::span<char> out) override;
+  Result<uint64_t> Write(InodeNum ino, uint64_t offset,
+                         std::span<const char> data) override;
+  Result<KInodeAttr> GetAttr(InodeNum ino) override;
+  Status Truncate(InodeNum ino, uint64_t size) override;
+  Status ReadDirNames(
+      InodeNum ino,
+      const std::function<bool(std::string_view, InodeNum)>& visit) override;
+  Status Fsync(InodeNum ino) override { (void)ino; return OkStatus(); }
+
+ private:
+  struct Node {
+    bool is_dir = false;
+    uint32_t nlink = 1;
+    std::string data;                       // file contents
+    std::map<std::string, InodeNum> children;  // directory entries
+  };
+
+  Node* Find(InodeNum ino) {
+    auto it = nodes_.find(ino);
+    return it == nodes_.end() ? nullptr : it->second.get();
+  }
+  void UnrefLocked(InodeNum ino);
+
+  std::mutex mu_;
+  std::unordered_map<InodeNum, std::unique_ptr<Node>> nodes_;
+  InodeNum next_ino_ = 2;
+};
+
+}  // namespace aerie
+
+#endif  // AERIE_SRC_KERNELSIM_RAMFS_H_

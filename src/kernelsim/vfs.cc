@@ -1,0 +1,488 @@
+#include "src/kernelsim/vfs.h"
+
+#include <algorithm>
+
+#include "src/common/hash.h"
+
+namespace aerie {
+
+namespace {
+
+// Splits an absolute path into components; rejects relative paths.
+Result<std::vector<std::string_view>> SplitPathView(std::string_view path) {
+  if (path.empty() || path[0] != '/') {
+    return Status(ErrorCode::kInvalidArgument, "path must be absolute");
+  }
+  std::vector<std::string_view> parts;
+  size_t pos = 0;
+  while (pos < path.size()) {
+    while (pos < path.size() && path[pos] == '/') {
+      pos++;
+    }
+    size_t end = pos;
+    while (end < path.size() && path[end] != '/') {
+      end++;
+    }
+    if (end > pos) {
+      parts.push_back(path.substr(pos, end - pos));
+    }
+    pos = end;
+  }
+  return parts;
+}
+
+}  // namespace
+
+void KernelVfs::ChargePages(uint64_t bytes) {
+  if (options_.page_cost_ns == 0 || bytes == 0) {
+    return;
+  }
+  CatTimer timer(&stats_, VfsCat::kMemObjects);
+  const uint64_t pages = (bytes + 4095) / 4096;
+  SpinDelayNanos(pages * options_.page_cost_ns);
+}
+
+void KernelVfs::EnterSyscall() {
+  stats_.ops.fetch_add(1, std::memory_order_relaxed);
+  CatTimer timer(&stats_, VfsCat::kEntry);
+  // The mode switch: trap, register save/restore, and the cache/TLB
+  // pollution a real syscall pays (paper §3: "cost of changing modes and
+  // cache pollution from entering the kernel").
+  SpinDelayNanos(options_.syscall_entry_ns);
+}
+
+uint64_t KernelVfs::DentryKey(InodeNum parent, std::string_view name) {
+  return HashCombine(Mix64(parent), HashString(name));
+}
+
+Result<InodeNum> KernelVfs::DcacheLookup(InodeNum parent,
+                                         std::string_view name) {
+  const uint64_t key = DentryKey(parent, name);
+  std::unique_lock lock(dcache_mu_, std::defer_lock);
+  {
+    CatTimer sync(&stats_, VfsCat::kSync);
+    lock.lock();
+  }
+  CatTimer naming(&stats_, VfsCat::kNaming);
+  auto it = dcache_.find(key);
+  if (it == dcache_.end() || it->second.parent != parent ||
+      it->second.name != name) {
+    return Status(ErrorCode::kNotFound, "dcache miss");
+  }
+  return it->second.ino;
+}
+
+void KernelVfs::DcacheInsert(InodeNum parent, std::string_view name,
+                             InodeNum ino) {
+  std::unique_lock lock(dcache_mu_, std::defer_lock);
+  {
+    CatTimer sync(&stats_, VfsCat::kSync);
+    lock.lock();
+  }
+  CatTimer mem(&stats_, VfsCat::kMemObjects);
+  if (dcache_.size() >= options_.dcache_max) {
+    dcache_.clear();  // wholesale shrink (the kernel prunes via LRU)
+  }
+  dcache_[DentryKey(parent, name)] =
+      DentryVal{parent, std::string(name), ino};
+}
+
+void KernelVfs::DcacheErase(InodeNum parent, std::string_view name) {
+  std::unique_lock lock(dcache_mu_, std::defer_lock);
+  {
+    CatTimer sync(&stats_, VfsCat::kSync);
+    lock.lock();
+  }
+  CatTimer mem(&stats_, VfsCat::kMemObjects);
+  dcache_.erase(DentryKey(parent, name));
+}
+
+Result<std::shared_ptr<KernelVfs::VfsInode>> KernelVfs::GetInode(
+    InodeNum ino) {
+  {
+    std::unique_lock lock(icache_mu_, std::defer_lock);
+    {
+      CatTimer sync(&stats_, VfsCat::kSync);
+      lock.lock();
+    }
+    CatTimer mem(&stats_, VfsCat::kMemObjects);
+    auto it = icache_.find(ino);
+    if (it != icache_.end()) {
+      it->second->refcount.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Miss: pull attributes from the concrete FS and build the in-memory
+  // inode (the allocation + init cost Figure 1 attributes to "memory
+  // objects").
+  KInodeAttr attr;
+  {
+    CatTimer backend(&stats_, VfsCat::kBackend);
+    auto loaded = backend_->GetAttr(ino);
+    if (!loaded.ok()) {
+      return loaded.status();
+    }
+    attr = *loaded;
+  }
+  std::unique_lock lock(icache_mu_, std::defer_lock);
+  {
+    CatTimer sync(&stats_, VfsCat::kSync);
+    lock.lock();
+  }
+  CatTimer mem(&stats_, VfsCat::kMemObjects);
+  auto it = icache_.find(ino);
+  if (it != icache_.end()) {
+    it->second->refcount.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  if (icache_.size() >= options_.icache_max) {
+    icache_.clear();
+  }
+  auto inode = std::make_shared<VfsInode>();
+  inode->ino = ino;
+  inode->is_dir = attr.is_dir;
+  inode->mode = attr.mode;
+  icache_[ino] = inode;
+  return inode;
+}
+
+void KernelVfs::ForgetInode(InodeNum ino) {
+  std::unique_lock lock(icache_mu_, std::defer_lock);
+  {
+    CatTimer sync(&stats_, VfsCat::kSync);
+    lock.lock();
+  }
+  CatTimer mem(&stats_, VfsCat::kMemObjects);
+  icache_.erase(ino);
+}
+
+Result<KernelVfs::WalkResult> KernelVfs::Walk(std::string_view path) {
+  std::vector<std::string_view> parts;
+  {
+    CatTimer naming(&stats_, VfsCat::kNaming);
+    auto split = SplitPathView(path);
+    if (!split.ok()) {
+      return split.status();
+    }
+    parts = std::move(*split);
+  }
+
+  AERIE_ASSIGN_OR_RETURN(std::shared_ptr<VfsInode> cur,
+                         GetInode(backend_->root_ino()));
+  WalkResult out;
+  if (parts.empty()) {
+    out.parent = cur;
+    out.target = cur;
+    return out;
+  }
+
+  for (size_t i = 0; i < parts.size(); ++i) {
+    const bool last = i + 1 == parts.size();
+    {
+      // Per-component permission check (paper: "looking up and resolving
+      // each path-name component, including access control").
+      CatTimer naming(&stats_, VfsCat::kNaming);
+      if (!cur->is_dir) {
+        return Status(ErrorCode::kNotDirectory, std::string(parts[i]));
+      }
+      if ((cur->mode & 0444) == 0) {
+        return Status(ErrorCode::kPermissionDenied, std::string(parts[i]));
+      }
+    }
+    InodeNum child_ino = 0;
+    auto cached = DcacheLookup(cur->ino, parts[i]);
+    if (cached.ok()) {
+      child_ino = *cached;
+    } else {
+      CatTimer backend(&stats_, VfsCat::kBackend);
+      auto looked = backend_->Lookup(cur->ino, parts[i]);
+      if (!looked.ok()) {
+        if (last && looked.status().code() == ErrorCode::kNotFound) {
+          out.parent = cur;
+          out.leaf = std::string(parts[i]);
+          return out;  // absent leaf: creation case
+        }
+        return looked.status();
+      }
+      child_ino = *looked;
+      DcacheInsert(cur->ino, parts[i], child_ino);
+    }
+    AERIE_ASSIGN_OR_RETURN(std::shared_ptr<VfsInode> child,
+                           GetInode(child_ino));
+    if (last) {
+      out.parent = cur;
+      out.leaf = std::string(parts[i]);
+      out.target = child;
+      return out;
+    }
+    cur = child;
+  }
+  return Status(ErrorCode::kInternal, "unreachable walk exit");
+}
+
+Result<KernelVfs::OpenFile*> KernelVfs::FileFor(int fd) {
+  CatTimer fds(&stats_, VfsCat::kFds);
+  std::lock_guard lock(fds_mu_);
+  if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() ||
+      fds_[static_cast<size_t>(fd)] == nullptr) {
+    return Status(ErrorCode::kBadHandle, "bad fd");
+  }
+  return fds_[static_cast<size_t>(fd)].get();
+}
+
+Result<int> KernelVfs::Open(std::string_view path, int flags) {
+  EnterSyscall();
+  AERIE_ASSIGN_OR_RETURN(WalkResult walk, Walk(path));
+  if (walk.target == nullptr) {
+    if ((flags & kOpenCreate) == 0) {
+      return Status(ErrorCode::kNotFound, std::string(path));
+    }
+    InodeNum ino;
+    {
+      CatTimer backend(&stats_, VfsCat::kBackend);
+      auto created = backend_->Create(walk.parent->ino, walk.leaf, false);
+      if (!created.ok()) {
+        return created.status();
+      }
+      ino = *created;
+    }
+    DcacheInsert(walk.parent->ino, walk.leaf, ino);
+    AERIE_ASSIGN_OR_RETURN(walk.target, GetInode(ino));
+  }
+  if (walk.target->is_dir) {
+    return Status(ErrorCode::kIsDirectory, std::string(path));
+  }
+  if (flags & kOpenTrunc) {
+    CatTimer backend(&stats_, VfsCat::kBackend);
+    AERIE_RETURN_IF_ERROR(backend_->Truncate(walk.target->ino, 0));
+  }
+
+  CatTimer fds(&stats_, VfsCat::kFds);
+  auto file = std::make_unique<OpenFile>();
+  file->inode = walk.target;
+  file->flags = flags;
+  if (flags & kOpenAppend) {
+    auto attr = backend_->GetAttr(walk.target->ino);
+    file->offset = attr.ok() ? attr->size : 0;
+  }
+  std::lock_guard lock(fds_mu_);
+  int fd;
+  if (!free_fds_.empty()) {
+    fd = free_fds_.back();
+    free_fds_.pop_back();
+    fds_[static_cast<size_t>(fd)] = std::move(file);
+  } else {
+    fd = static_cast<int>(fds_.size());
+    fds_.push_back(std::move(file));
+  }
+  return fd;
+}
+
+Status KernelVfs::Close(int fd) {
+  EnterSyscall();
+  CatTimer fds(&stats_, VfsCat::kFds);
+  std::lock_guard lock(fds_mu_);
+  if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() ||
+      fds_[static_cast<size_t>(fd)] == nullptr) {
+    return Status(ErrorCode::kBadHandle, "bad fd");
+  }
+  fds_[static_cast<size_t>(fd)]->inode->refcount.fetch_sub(
+      1, std::memory_order_relaxed);
+  fds_[static_cast<size_t>(fd)].reset();
+  free_fds_.push_back(fd);
+  return OkStatus();
+}
+
+Result<uint64_t> KernelVfs::Read(int fd, std::span<char> out) {
+  EnterSyscall();
+  AERIE_ASSIGN_OR_RETURN(OpenFile * file, FileFor(fd));
+  Result<uint64_t> n = 0ull;
+  {
+    CatTimer backend(&stats_, VfsCat::kBackend);
+    n = backend_->Read(file->inode->ino, file->offset, out);
+  }
+  if (n.ok()) {
+    ChargePages(*n);  // pages actually moved through the page cache
+  }
+  if (n.ok()) {
+    CatTimer fds(&stats_, VfsCat::kFds);
+    file->offset += *n;
+  }
+  return n;
+}
+
+Result<uint64_t> KernelVfs::Write(int fd, std::span<const char> data) {
+  EnterSyscall();
+  AERIE_ASSIGN_OR_RETURN(OpenFile * file, FileFor(fd));
+  if ((file->flags & kOpenWrite) == 0) {
+    return Status(ErrorCode::kPermissionDenied, "fd not open for write");
+  }
+  ChargePages(data.size());
+  Result<uint64_t> n = 0ull;
+  {
+    CatTimer backend(&stats_, VfsCat::kBackend);
+    n = backend_->Write(file->inode->ino, file->offset, data);
+  }
+  if (n.ok()) {
+    CatTimer fds(&stats_, VfsCat::kFds);
+    file->offset += *n;
+  }
+  return n;
+}
+
+Result<uint64_t> KernelVfs::Pread(int fd, uint64_t offset,
+                                  std::span<char> out) {
+  EnterSyscall();
+  AERIE_ASSIGN_OR_RETURN(OpenFile * file, FileFor(fd));
+  Result<uint64_t> n = 0ull;
+  {
+    CatTimer backend(&stats_, VfsCat::kBackend);
+    n = backend_->Read(file->inode->ino, offset, out);
+  }
+  if (n.ok()) {
+    ChargePages(*n);
+  }
+  return n;
+}
+
+Result<uint64_t> KernelVfs::Pwrite(int fd, uint64_t offset,
+                                   std::span<const char> data) {
+  EnterSyscall();
+  AERIE_ASSIGN_OR_RETURN(OpenFile * file, FileFor(fd));
+  if ((file->flags & kOpenWrite) == 0) {
+    return Status(ErrorCode::kPermissionDenied, "fd not open for write");
+  }
+  ChargePages(data.size());
+  CatTimer backend(&stats_, VfsCat::kBackend);
+  return backend_->Write(file->inode->ino, offset, data);
+}
+
+Result<uint64_t> KernelVfs::Seek(int fd, uint64_t offset) {
+  EnterSyscall();
+  AERIE_ASSIGN_OR_RETURN(OpenFile * file, FileFor(fd));
+  CatTimer fds(&stats_, VfsCat::kFds);
+  file->offset = offset;
+  return offset;
+}
+
+Status KernelVfs::Create(std::string_view path) {
+  AERIE_ASSIGN_OR_RETURN(int fd, Open(path, kOpenCreate | kOpenWrite));
+  return Close(fd);
+}
+
+Status KernelVfs::Mkdir(std::string_view path) {
+  EnterSyscall();
+  AERIE_ASSIGN_OR_RETURN(WalkResult walk, Walk(path));
+  if (walk.target != nullptr) {
+    return Status(ErrorCode::kAlreadyExists, std::string(path));
+  }
+  InodeNum ino;
+  {
+    CatTimer backend(&stats_, VfsCat::kBackend);
+    auto created = backend_->Create(walk.parent->ino, walk.leaf, true);
+    if (!created.ok()) {
+      return created.status();
+    }
+    ino = *created;
+  }
+  DcacheInsert(walk.parent->ino, walk.leaf, ino);
+  return OkStatus();
+}
+
+Status KernelVfs::Unlink(std::string_view path) {
+  EnterSyscall();
+  AERIE_ASSIGN_OR_RETURN(WalkResult walk, Walk(path));
+  if (walk.target == nullptr) {
+    return Status(ErrorCode::kNotFound, std::string(path));
+  }
+  {
+    CatTimer backend(&stats_, VfsCat::kBackend);
+    AERIE_RETURN_IF_ERROR(backend_->Unlink(walk.parent->ino, walk.leaf));
+  }
+  DcacheErase(walk.parent->ino, walk.leaf);
+  ForgetInode(walk.target->ino);
+  return OkStatus();
+}
+
+Status KernelVfs::Rename(std::string_view from, std::string_view to) {
+  EnterSyscall();
+  AERIE_ASSIGN_OR_RETURN(WalkResult src, Walk(from));
+  if (src.target == nullptr) {
+    return Status(ErrorCode::kNotFound, std::string(from));
+  }
+  AERIE_ASSIGN_OR_RETURN(WalkResult dst, Walk(to));
+  {
+    CatTimer backend(&stats_, VfsCat::kBackend);
+    AERIE_RETURN_IF_ERROR(backend_->Rename(src.parent->ino, src.leaf,
+                                           dst.parent->ino, dst.leaf));
+  }
+  DcacheErase(src.parent->ino, src.leaf);
+  DcacheErase(dst.parent->ino, dst.leaf);
+  DcacheInsert(dst.parent->ino, dst.leaf, src.target->ino);
+  return OkStatus();
+}
+
+Result<KInodeAttr> KernelVfs::Stat(std::string_view path) {
+  EnterSyscall();
+  AERIE_ASSIGN_OR_RETURN(WalkResult walk, Walk(path));
+  if (walk.target == nullptr) {
+    return Status(ErrorCode::kNotFound, std::string(path));
+  }
+  CatTimer backend(&stats_, VfsCat::kBackend);
+  return backend_->GetAttr(walk.target->ino);
+}
+
+Result<std::vector<VfsDirent>> KernelVfs::ReadDir(std::string_view path) {
+  EnterSyscall();
+  AERIE_ASSIGN_OR_RETURN(WalkResult walk, Walk(path));
+  if (walk.target == nullptr) {
+    return Status(ErrorCode::kNotFound, std::string(path));
+  }
+  if (!walk.target->is_dir) {
+    return Status(ErrorCode::kNotDirectory, std::string(path));
+  }
+  std::vector<VfsDirent> out;
+  CatTimer backend(&stats_, VfsCat::kBackend);
+  AERIE_RETURN_IF_ERROR(backend_->ReadDirNames(
+      walk.target->ino, [&](std::string_view name, InodeNum ino) {
+        out.push_back(VfsDirent{std::string(name), ino, false});
+        return true;
+      }));
+  return out;
+}
+
+Status KernelVfs::Fsync(int fd) {
+  EnterSyscall();
+  AERIE_ASSIGN_OR_RETURN(OpenFile * file, FileFor(fd));
+  CatTimer backend(&stats_, VfsCat::kBackend);
+  return backend_->Fsync(file->inode->ino);
+}
+
+Status KernelVfs::Truncate(std::string_view path, uint64_t size) {
+  EnterSyscall();
+  AERIE_ASSIGN_OR_RETURN(WalkResult walk, Walk(path));
+  if (walk.target == nullptr) {
+    return Status(ErrorCode::kNotFound, std::string(path));
+  }
+  CatTimer backend(&stats_, VfsCat::kBackend);
+  return backend_->Truncate(walk.target->ino, size);
+}
+
+void KernelVfs::DropCaches() {
+  std::lock_guard ilock(icache_mu_);
+  std::lock_guard dlock(dcache_mu_);
+  icache_.clear();
+  dcache_.clear();
+}
+
+size_t KernelVfs::icache_size() const {
+  std::lock_guard lock(icache_mu_);
+  return icache_.size();
+}
+
+size_t KernelVfs::dcache_size() const {
+  std::lock_guard lock(dcache_mu_);
+  return dcache_.size();
+}
+
+}  // namespace aerie

@@ -1,0 +1,265 @@
+#include "src/libfs/client.h"
+
+#include "src/common/check.h"
+#include "src/rpc/wire.h"
+
+namespace aerie {
+
+Result<std::unique_ptr<LibFs>> LibFs::Mount(Transport* transport,
+                                            ScmRegion* region,
+                                            uint64_t partition_offset,
+                                            const Options& options) {
+  auto fs = std::unique_ptr<LibFs>(new LibFs(transport, region, options));
+
+  auto volume = Volume::Open(region, partition_offset, /*writable=*/false);
+  if (!volume.ok()) {
+    return volume.status();
+  }
+  fs->volume_ = std::move(*volume);
+
+  auto roots = transport->Call(kTfsRpcGetRoots, {});
+  if (!roots.ok()) {
+    return roots.status();
+  }
+  WireReader r(*roots);
+  auto pxfs_root = r.ReadU64();
+  auto flat_root = r.ReadU64();
+  if (!pxfs_root.ok() || !flat_root.ok()) {
+    return Status(ErrorCode::kUnavailable, "bad roots response");
+  }
+  fs->pxfs_root_ = Oid(*pxfs_root);
+  fs->flat_root_ = Oid(*flat_root);
+
+  fs->lock_stub_ = std::make_unique<RemoteLockService>(transport);
+  fs->clerk_ =
+      std::make_unique<LockClerk>(fs->lock_stub_.get(), options.clerk);
+
+  // Ship buffered metadata before any global lock leaves this client: the
+  // next holder must observe our updates (paper §5.3.5).
+  LibFs* raw = fs.get();
+  fs->clerk_->set_release_hook([raw](LockId id, LockMode) {
+    (void)raw->Sync();
+    std::lock_guard lock(raw->hooks_mu_);
+    for (const auto& [token, hook] : raw->release_hooks_) {
+      hook(id);
+    }
+  });
+  if (options.flush_interval_ms != 0 && !options.eager_ship) {
+    fs->flusher_ = std::thread([raw] { raw->FlusherLoop(); });
+  }
+  return fs;
+}
+
+void LibFs::FlusherLoop() {
+  std::unique_lock lock(batch_mu_);
+  while (!flusher_stop_) {
+    flush_cv_.wait_for(lock,
+                       std::chrono::milliseconds(options_.flush_interval_ms));
+    if (flusher_stop_) {
+      break;
+    }
+    if (!batch_.empty()) {
+      (void)ShipBatchLocked(&lock);
+    }
+  }
+}
+
+LibFs::~LibFs() {
+  {
+    std::lock_guard lock(batch_mu_);
+    flusher_stop_ = true;
+  }
+  flush_cv_.notify_all();
+  if (flusher_.joinable()) {
+    flusher_.join();
+  }
+  // Best-effort final ship; lock teardown happens via clerk destructor.
+  (void)Sync();
+}
+
+uint64_t LibFs::AddReleaseHook(std::function<void(LockId)> hook) {
+  std::lock_guard lock(hooks_mu_);
+  const uint64_t token = next_hook_token_++;
+  release_hooks_[token] = std::move(hook);
+  return token;
+}
+
+void LibFs::RemoveReleaseHook(uint64_t token) {
+  std::lock_guard lock(hooks_mu_);
+  release_hooks_.erase(token);
+}
+
+uint64_t LibFs::pending_ops() const {
+  std::lock_guard lock(const_cast<std::mutex&>(batch_mu_));
+  return batch_.size();
+}
+
+Status LibFs::LogOps(std::vector<MetaOp> ops) {
+  std::unique_lock lock(batch_mu_);
+  for (MetaOp& op : ops) {
+    batch_bytes_ += 96 + op.name.size() + op.name2.size();
+    batch_.push_back(std::move(op));
+  }
+  ops_logged_ += ops.size();
+  if (batch_.size() >= options_.max_pending_ops) {
+    return ShipBatchLocked(&lock);  // backpressure: producer pays the ship
+  }
+  if (batch_bytes_ >= options_.batch_max_bytes) {
+    if (flusher_.joinable()) {
+      flush_cv_.notify_all();  // background ship; don't stall the caller
+      return OkStatus();
+    }
+    return ShipBatchLocked(&lock);
+  }
+  if (options_.eager_ship) {
+    return ShipBatchLocked(&lock);
+  }
+  return OkStatus();
+}
+
+Status LibFs::LogOp(MetaOp op) {
+  std::unique_lock lock(batch_mu_);
+  // Rough wire size: fixed fields + names.
+  batch_bytes_ += 96 + op.name.size() + op.name2.size();
+  batch_.push_back(std::move(op));
+  ops_logged_++;
+  if (batch_.size() >= options_.max_pending_ops) {
+    return ShipBatchLocked(&lock);  // backpressure: producer pays the ship
+  }
+  if (batch_bytes_ >= options_.batch_max_bytes) {
+    if (flusher_.joinable()) {
+      flush_cv_.notify_all();  // background ship; don't stall the caller
+      return OkStatus();
+    }
+    return ShipBatchLocked(&lock);
+  }
+  if (options_.eager_ship) {
+    return ShipBatchLocked(&lock);
+  }
+  return OkStatus();
+}
+
+Status LibFs::ShipBatchLocked(std::unique_lock<std::mutex>* lock) {
+  if (batch_.empty() || abandoned_.load()) {
+    return OkStatus();
+  }
+  // Ship order must equal logging order. ship_mu_ is taken BEFORE the
+  // batch is swapped out, so a concurrent shipper (flusher vs Sync vs
+  // release hook) cannot overtake an in-flight earlier batch. Lock order is
+  // always ship_mu_ -> batch_mu_ here; callers drop batch_mu_ first.
+  lock->unlock();
+  Status result = OkStatus();
+  {
+    std::lock_guard ship(ship_mu_);
+    std::vector<MetaOp> ops;
+    {
+      std::lock_guard relock(batch_mu_);
+      ops.swap(batch_);
+      batch_bytes_ = 0;
+    }
+    if (!ops.empty()) {
+      if (clerk_->lease_lost() || abandoned_.load()) {
+        // The service already discarded our authority; these updates are
+        // gone (paper §4.3: failed clients' updates are discarded).
+        result =
+            Status(ErrorCode::kLockRevoked, "lease lost; batch discarded");
+      } else {
+        const std::string blob = EncodeBatch(ops);
+        result = transport_->Call(kTfsRpcApplyBatch, blob).status();
+        if (result.ok()) {
+          batches_shipped_++;
+        }
+      }
+    }
+  }
+  lock->lock();
+  return result;
+}
+
+Status LibFs::Sync() {
+  std::unique_lock lock(batch_mu_);
+  return ShipBatchLocked(&lock);
+}
+
+Status LibFs::SyncAndReleaseLocks() {
+  AERIE_RETURN_IF_ERROR(Sync());
+  clerk_->ReleaseAllGlobals();
+  return OkStatus();
+}
+
+Result<Oid> LibFs::TakePooled(ObjType type, uint64_t capacity) {
+  const auto key = std::make_pair(static_cast<uint8_t>(type), capacity);
+  {
+    std::lock_guard lock(pool_mu_);
+    auto& pool = pools_[key];
+    if (!pool.empty()) {
+      Oid oid = pool.back();
+      pool.pop_back();
+      return oid;
+    }
+  }
+  // Refill over RPC (paper: 1000 objects per refill keeps this rare).
+  WireBuffer req;
+  req.AppendU8(static_cast<uint8_t>(type));
+  req.AppendU32(options_.pool_refill);
+  req.AppendU64(capacity);
+  auto resp = transport_->Call(kTfsRpcPoolFill, req.data());
+  if (!resp.ok()) {
+    return resp.status();
+  }
+  WireReader r(*resp);
+  auto count = r.ReadU32();
+  if (!count.ok() || *count == 0) {
+    return Status(ErrorCode::kOutOfSpace, "pool refill returned nothing");
+  }
+  std::lock_guard lock(pool_mu_);
+  auto& pool = pools_[key];
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto oid = r.ReadU64();
+    if (!oid.ok()) {
+      return Status(ErrorCode::kUnavailable, "bad pool response");
+    }
+    pool.push_back(Oid(*oid));
+  }
+  Oid oid = pool.back();
+  pool.pop_back();
+  return oid;
+}
+
+Status LibFs::NotifyOpen(Oid file) {
+  WireBuffer req;
+  req.AppendU64(file.raw());
+  return transport_->Call(kTfsRpcNotifyOpen, req.data()).status();
+}
+
+Status LibFs::NotifyClosed(Oid file) {
+  WireBuffer req;
+  req.AppendU64(file.raw());
+  return transport_->Call(kTfsRpcNotifyClosed, req.data()).status();
+}
+
+Result<uint64_t> LibFs::ServiceRead(Oid file, uint64_t offset,
+                                    std::span<char> out) {
+  WireBuffer req;
+  req.AppendU64(file.raw());
+  req.AppendU64(offset);
+  req.AppendU32(static_cast<uint32_t>(out.size()));
+  auto resp = transport_->Call(kTfsRpcServiceRead, req.data());
+  if (!resp.ok()) {
+    return resp.status();
+  }
+  const uint64_t n = std::min(out.size(), resp->size());
+  std::memcpy(out.data(), resp->data(), n);
+  return n;
+}
+
+Status LibFs::ServiceWrite(Oid file, uint64_t offset,
+                           std::span<const char> data) {
+  WireBuffer req;
+  req.AppendU64(file.raw());
+  req.AppendU64(offset);
+  req.AppendString(std::string_view(data.data(), data.size()));
+  return transport_->Call(kTfsRpcServiceWrite, req.data()).status();
+}
+
+}  // namespace aerie

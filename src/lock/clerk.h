@@ -1,0 +1,189 @@
+// The clerk: libFS's client-side agent of the lock service (paper §5.1).
+//
+// The clerk acquires *global* locks from the lock service and then issues
+// *local* lightweight mutexes to threads within the process. It implements:
+//
+//   * lock caching — global locks are retained after the last local release
+//     and reused without an RPC until the service revokes them or the client
+//     syncs (paper: "releases the global lock when it has not been used
+//     recently or when the lock service calls back");
+//   * hierarchical locking — a held SH/XH lock lets the clerk grant locks on
+//     descendant objects entirely locally (paper §5.3.4);
+//   * de-escalation — when a hierarchical lock is revoked while descendants
+//     are in use, the clerk acquires explicit global locks lower in the
+//     hierarchy before giving up the high-level lock;
+//   * revocation draining — when a callback arrives for a lock in use, new
+//     local grants are blocked and the global lock is released once the last
+//     local user drains;
+//   * lease renewal — a background thread renews the client's lease; a
+//     client that stops renewing implicitly releases everything.
+//
+// Before any global lock is released or downgraded, the clerk invokes the
+// registered ReleaseHook. libFS uses it to ship batched metadata updates to
+// the TFS (the batch must reach the service before another client can
+// observe the lock), and PXFS hooks it to flush the path-name cache.
+#ifndef AERIE_SRC_LOCK_CLERK_H_
+#define AERIE_SRC_LOCK_CLERK_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/lock/lock_proto.h"
+#include "src/lock/lock_service.h"
+
+namespace aerie {
+
+class LockClerk final : public RevocationSink {
+ public:
+  struct Options {
+    bool auto_renew = true;
+    uint64_t renew_interval_ms = 500;
+    // How long a local-grant wait may block before kLockConflict.
+    uint64_t local_wait_timeout_ms = 2000;
+  };
+
+  // `service` must outlive the clerk.
+  explicit LockClerk(LockServiceClient* service);
+  LockClerk(LockServiceClient* service, Options options);
+  ~LockClerk() override;
+
+  LockClerk(const LockClerk&) = delete;
+  LockClerk& operator=(const LockClerk&) = delete;
+
+  // Invoked (outside the clerk mutex) before a global lock is released or
+  // downgraded. Must not call back into this clerk.
+  using ReleaseHook = std::function<void(LockId, LockMode)>;
+  void set_release_hook(ReleaseHook hook);
+
+  // Acquires `mode` (kShared/kExclusive/kSharedHier/kExclusiveHier) on `id`.
+  // `ancestors` lists the lock ids from the root of the hierarchy down to the
+  // immediate parent; the clerk takes intent locks on them as needed, or
+  // grants locally when a held hierarchical ancestor covers the request.
+  Status Acquire(LockId id, LockMode mode,
+                 std::span<const LockId> ancestors = {});
+
+  // Releases the caller's local grant; the global lock stays cached.
+  void Release(LockId id);
+
+  // Ships pending state (via the hook) and releases the global lock.
+  Status ReleaseGlobal(LockId id);
+
+  // Releases every cached global lock (sync / unmount).
+  void ReleaseAllGlobals();
+
+  // Releases cached globals with no local users that have been idle for at
+  // least `idle_ns` (the "not used recently" policy).
+  void ReleaseIdleGlobals(uint64_t idle_ns);
+
+  // --- RevocationSink (called by service threads; queues work) ---
+  void OnRevoke(LockId id, LockMode wanted) override;
+  void OnLeaseExpired() override;
+
+  // --- Introspection / test hooks ---
+  // Mode of the cached global lock (kFree if none / only locally covered).
+  LockMode GlobalMode(LockId id) const;
+
+  // The lock id the *service* knows grants this client authority over `id`:
+  // `id` itself if held globally, else the hierarchical ancestor covering it.
+  // Metadata ops cite this as their authority (the TFS verifies it).
+  LockId GlobalAuthorityOf(LockId id) const;
+  bool LocallyHeld(LockId id) const;
+  bool lease_lost() const { return lease_lost_.load(); }
+  uint64_t global_acquires() const { return global_acquires_.load(); }
+  uint64_t local_grants() const { return local_grants_.load(); }
+  uint64_t revokes_handled() const { return revokes_handled_.load(); }
+  // Locks released while a local user still held them (drain timeout).
+  uint64_t forced_releases() const { return forced_releases_.load(); }
+
+  // Processes queued revocations inline (tests that have no worker races).
+  void DrainRevocationsForTesting();
+
+  // Simulates a hung client: lease renewals stop, so the service will
+  // eventually treat this client as failed.
+  void StopRenewalForTesting() { renewal_stopped_.store(true); }
+
+ private:
+  struct Entry {
+    LockMode global = LockMode::kFree;
+    // Non-zero: this lock is granted locally under a hierarchical ancestor.
+    LockId covered_by = 0;
+    LockMode covered_mode = LockMode::kFree;
+    int readers = 0;
+    bool writer = false;
+    int waiting = 0;
+    bool draining = false;  // revocation or forced release in progress
+    uint64_t last_used_ns = 0;
+    std::vector<LockId> local_children;
+    std::condition_variable cv;
+  };
+
+  static bool WantsWrite(LockMode m) {
+    return m == LockMode::kExclusive || m == LockMode::kExclusiveHier;
+  }
+
+  // mu_ held. True if the caller can be granted `mode` locally right now.
+  static bool LocalGrantable(const Entry& e, LockMode mode) {
+    if (e.draining) {
+      return false;
+    }
+    if (WantsWrite(mode)) {
+      return e.readers == 0 && !e.writer;
+    }
+    return !e.writer;
+  }
+
+  // mu_ held. The strongest authority this entry currently has (its global
+  // mode, or the mode it was granted under a covering ancestor).
+  LockMode AuthorityLocked(const Entry& e) const {
+    return e.global != LockMode::kFree ? e.global : e.covered_mode;
+  }
+
+  // Finds the nearest held ancestor whose hierarchical mode covers `mode`.
+  // mu_ held. Returns 0 if none.
+  LockId FindCoveringAncestorLocked(std::span<const LockId> ancestors,
+                                    LockMode mode);
+
+  // mu_ held. Records `child` as hierarchy-dependent on `parent`.
+  void RegisterChildLocked(LockId parent, LockId child);
+
+  // Drains local users of `id` and releases/downgrades its global lock,
+  // escalating in-use locally-covered children to explicit global locks
+  // first. Takes and releases mu_ internally.
+  Status DrainAndReleaseGlobal(LockId id, bool downgrade_to_intent);
+
+  void WorkerLoop();
+  void HandleRevoke(LockId id, LockMode wanted);
+
+  LockServiceClient* service_;
+  Options options_;
+  ReleaseHook release_hook_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<LockId, Entry> entries_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::pair<LockId, LockMode>> revoke_queue_;
+  bool stopping_ = false;
+  std::thread worker_;
+
+  std::atomic<bool> lease_lost_{false};
+  std::atomic<bool> renewal_stopped_{false};
+  std::atomic<uint64_t> global_acquires_{0};
+  std::atomic<uint64_t> local_grants_{0};
+  std::atomic<uint64_t> revokes_handled_{0};
+  std::atomic<uint64_t> forced_releases_{0};
+};
+
+}  // namespace aerie
+
+#endif  // AERIE_SRC_LOCK_CLERK_H_

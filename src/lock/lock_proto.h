@@ -1,0 +1,165 @@
+// Lock modes and compatibility (paper §5.1, §5.3.4).
+//
+// Aerie's lock service provides multiple-reader/single-writer locks named by
+// 64-bit ids, extended with three *scopes* per lock:
+//   explicit     — covers only the object itself,
+//   hierarchical — covers the object and all descendants (the clerk may then
+//                  grant descendant locks locally, without calling the
+//                  service),
+//   intent       — the object is not locked, but a descendant may be.
+//
+// This maps onto the classic granular-locking matrix (Gray et al.): IS, IX,
+// S, X, with SH/XH being S/X plus the "covers descendants" property that only
+// the clerk interprets. Compatibility is decided by the base mode.
+#ifndef AERIE_SRC_LOCK_LOCK_PROTO_H_
+#define AERIE_SRC_LOCK_LOCK_PROTO_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace aerie {
+
+using LockId = uint64_t;
+
+enum class LockMode : uint8_t {
+  kFree = 0,
+  kIntentShared,      // IS: descendant may be read-locked
+  kIntentExclusive,   // IX: descendant may be write-locked
+  kShared,            // S : read lock on this object only
+  kSharedHier,        // SH: read lock on this object and all descendants
+  kExclusive,         // X : write lock on this object only
+  kExclusiveHier,     // XH: write lock on this object and all descendants
+};
+
+std::string_view LockModeName(LockMode mode);
+
+// True when two holders' modes can coexist on one lock.
+//
+// Unlike classic granular locking — where S/X on a node implicitly cover the
+// whole subtree — Aerie's explicit S/X cover *only the object itself* (the
+// paper's "explicit" scope), while SH/XH cover the subtree. So:
+//   * explicit S/X coexist with intent modes: locking a descendant does not
+//     touch this object's own data;
+//   * SH conflicts with IX (a write-locked descendant would be inside the
+//     read-covered subtree), XH conflicts with every other holder;
+//   * S vs X and X vs X conflict as usual on the object's own data.
+constexpr bool LockCompatible(LockMode a, LockMode b) {
+  auto index = [](LockMode m) -> int {
+    switch (m) {
+      case LockMode::kFree:
+        return 0;
+      case LockMode::kIntentShared:
+        return 1;
+      case LockMode::kIntentExclusive:
+        return 2;
+      case LockMode::kShared:
+        return 3;
+      case LockMode::kSharedHier:
+        return 4;
+      case LockMode::kExclusive:
+        return 5;
+      case LockMode::kExclusiveHier:
+        return 6;
+    }
+    return 6;
+  };
+  // Rows/cols: free, IS, IX, S, SH, X, XH.
+  constexpr bool kCompat[7][7] = {
+      {true, true, true, true, true, true, true},        // free
+      {true, true, true, true, true, true, false},       // IS
+      {true, true, true, true, false, true, false},      // IX
+      {true, true, true, true, true, false, false},      // S
+      {true, true, false, true, true, false, false},     // SH
+      {true, true, true, false, false, false, false},    // X
+      {true, false, false, false, false, false, false},  // XH
+  };
+  return kCompat[index(a)][index(b)];
+}
+
+// True when mode `held` is at least as strong as `want` (an upgrade is
+// unnecessary). Hierarchical modes dominate their explicit base mode.
+constexpr bool LockModeCovers(LockMode held, LockMode want) {
+  auto rank = [](LockMode m) -> int {
+    switch (m) {
+      case LockMode::kFree:
+        return 0;
+      case LockMode::kIntentShared:
+        return 1;
+      case LockMode::kIntentExclusive:
+        return 2;
+      case LockMode::kShared:
+        return 3;
+      case LockMode::kSharedHier:
+        return 4;
+      case LockMode::kExclusive:
+        return 5;
+      case LockMode::kExclusiveHier:
+        return 6;
+    }
+    return 0;
+  };
+  if (held == want) {
+    return true;
+  }
+  switch (want) {
+    case LockMode::kFree:
+      return true;
+    case LockMode::kIntentShared:
+      return rank(held) >= 1;
+    case LockMode::kIntentExclusive:
+      return held == LockMode::kIntentExclusive ||
+             held == LockMode::kExclusive || held == LockMode::kExclusiveHier;
+    case LockMode::kShared:
+      return rank(held) >= 3 && held != LockMode::kIntentExclusive;
+    case LockMode::kSharedHier:
+      return held == LockMode::kSharedHier ||
+             held == LockMode::kExclusiveHier;
+    case LockMode::kExclusive:
+      return held == LockMode::kExclusive || held == LockMode::kExclusiveHier;
+    case LockMode::kExclusiveHier:
+      return held == LockMode::kExclusiveHier;
+  }
+  return false;
+}
+
+// True when holding `held` lets the clerk grant `want` on a *descendant*
+// locally (hierarchical cover, paper §5.3.4).
+constexpr bool HierCovers(LockMode held, LockMode want) {
+  if (held == LockMode::kExclusiveHier) {
+    return true;
+  }
+  if (held == LockMode::kSharedHier) {
+    return want == LockMode::kShared || want == LockMode::kSharedHier ||
+           want == LockMode::kIntentShared;
+  }
+  return false;
+}
+
+// Least mode that covers both `a` and `b` (upgrades keep prior strength).
+// The residual incomparable pairs ({S,IX}, {SH,IX}, {SH,X}) escalate to
+// exclusive because no SIX mode is provided.
+constexpr LockMode LockModeStrengthen(LockMode a, LockMode b) {
+  if (LockModeCovers(a, b)) {
+    return a;
+  }
+  if (LockModeCovers(b, a)) {
+    return b;
+  }
+  const bool hier = a == LockMode::kSharedHier ||
+                    a == LockMode::kExclusiveHier ||
+                    b == LockMode::kSharedHier ||
+                    b == LockMode::kExclusiveHier;
+  return hier ? LockMode::kExclusiveHier : LockMode::kExclusive;
+}
+
+// RPC method ids for the lock service (shared with the TFS dispatcher).
+enum LockRpcMethod : uint32_t {
+  kLockRpcAcquire = 0x4c00,
+  kLockRpcRelease = 0x4c01,
+  kLockRpcDowngrade = 0x4c02,
+  kLockRpcRenew = 0x4c03,
+};
+
+}  // namespace aerie
+
+#endif  // AERIE_SRC_LOCK_LOCK_PROTO_H_

@@ -1,0 +1,344 @@
+#include "src/lock/lock_service.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/common/check.h"
+#include "src/common/clock.h"
+#include "src/rpc/wire.h"
+
+namespace aerie {
+
+std::string_view LockModeName(LockMode mode) {
+  switch (mode) {
+    case LockMode::kFree:
+      return "free";
+    case LockMode::kIntentShared:
+      return "IS";
+    case LockMode::kIntentExclusive:
+      return "IX";
+    case LockMode::kShared:
+      return "S";
+    case LockMode::kSharedHier:
+      return "SH";
+    case LockMode::kExclusive:
+      return "X";
+    case LockMode::kExclusiveHier:
+      return "XH";
+  }
+  return "?";
+}
+
+void LockService::RegisterClient(uint64_t client_id, RevocationSink* sink) {
+  std::lock_guard lock(mu_);
+  ClientState& cs = clients_[client_id];
+  cs.sink = sink;
+  cs.lease_deadline_ns = NowNanos() + options_.lease_ms * 1'000'000;
+}
+
+void LockService::UnregisterClient(uint64_t client_id) {
+  std::lock_guard lock(mu_);
+  DropAllLocked(client_id, /*notify_sink=*/false);
+  clients_.erase(client_id);
+}
+
+bool LockService::LeaseValidLocked(uint64_t client_id) const {
+  auto it = clients_.find(client_id);
+  return it != clients_.end() && it->second.lease_deadline_ns >= NowNanos();
+}
+
+bool LockService::LeaseValid(uint64_t client_id) const {
+  std::lock_guard lock(mu_);
+  return LeaseValidLocked(client_id);
+}
+
+void LockService::RenewLocked(uint64_t client_id) {
+  auto it = clients_.find(client_id);
+  if (it != clients_.end()) {
+    it->second.lease_deadline_ns = NowNanos() + options_.lease_ms * 1'000'000;
+  }
+}
+
+void LockService::ExpireLeaseForTesting(uint64_t client_id) {
+  std::lock_guard lock(mu_);
+  auto it = clients_.find(client_id);
+  if (it != clients_.end()) {
+    it->second.lease_deadline_ns = 0;
+  }
+}
+
+std::vector<uint64_t> LockService::ConflictingHolders(const LockState& lock,
+                                                      uint64_t client_id,
+                                                      LockMode mode) const {
+  std::vector<uint64_t> out;
+  for (const auto& [holder, held] : lock.holders) {
+    if (holder != client_id && !LockCompatible(held, mode)) {
+      out.push_back(holder);
+    }
+  }
+  return out;
+}
+
+void LockService::DropAllLocked(uint64_t client_id, bool notify_sink) {
+  auto it = clients_.find(client_id);
+  if (it == clients_.end()) {
+    return;
+  }
+  for (LockId id : it->second.held) {
+    auto lit = locks_.find(id);
+    if (lit == locks_.end()) {
+      continue;
+    }
+    lit->second.holders.erase(client_id);
+    lit->second.cv.notify_all();
+    if (lit->second.holders.empty() && lit->second.waiters == 0) {
+      locks_.erase(lit);
+    }
+  }
+  it->second.held.clear();
+  it->second.lease_deadline_ns = 0;
+  (void)notify_sink;  // sink notification is handled by the caller, outside mu_
+}
+
+Status LockService::Acquire(uint64_t client_id, LockId id, LockMode mode,
+                            bool wait) {
+  if (mode == LockMode::kFree) {
+    return Status(ErrorCode::kInvalidArgument, "cannot acquire kFree");
+  }
+  std::unique_lock lk(mu_);
+  auto cit = clients_.find(client_id);
+  if (cit == clients_.end()) {
+    return Status(ErrorCode::kUnavailable, "unknown lock client");
+  }
+  RenewLocked(client_id);
+
+  LockState& lock = locks_[id];
+  lock.waiters++;  // pins the entry across unlock/relock
+  const uint64_t deadline_ns =
+      NowNanos() + options_.wait_timeout_ms * 1'000'000;
+
+  Status result = OkStatus();
+  for (;;) {
+    // Compute the target mode (upgrades keep existing strength).
+    LockMode target = mode;
+    auto hit = lock.holders.find(client_id);
+    if (hit != lock.holders.end()) {
+      if (LockModeCovers(hit->second, mode)) {
+        break;  // already strong enough
+      }
+      target = LockModeStrengthen(hit->second, mode);
+    }
+
+    std::vector<uint64_t> conflicts =
+        ConflictingHolders(lock, client_id, target);
+
+    // Force-drop conflicting holders whose lease lapsed (paper: a client
+    // that does not renew implicitly releases; its unshipped metadata
+    // updates are discarded).
+    std::vector<RevocationSink*> expired_sinks;
+    for (auto conflict_it = conflicts.begin();
+         conflict_it != conflicts.end();) {
+      if (!LeaseValidLocked(*conflict_it)) {
+        auto ecs = clients_.find(*conflict_it);
+        if (ecs != clients_.end() && ecs->second.sink != nullptr) {
+          expired_sinks.push_back(ecs->second.sink);
+        }
+        DropAllLocked(*conflict_it, true);
+        conflict_it = conflicts.erase(conflict_it);
+      } else {
+        ++conflict_it;
+      }
+    }
+
+    if (conflicts.empty() && expired_sinks.empty()) {
+      // Grant.
+      lock.holders[client_id] = target;
+      auto& held = clients_[client_id].held;
+      if (std::find(held.begin(), held.end(), id) == held.end()) {
+        held.push_back(id);
+      }
+      break;
+    }
+
+    if (conflicts.empty()) {
+      // Only expired holders stood in the way; notify them and retry.
+      lk.unlock();
+      for (RevocationSink* sink : expired_sinks) {
+        sink->OnLeaseExpired();
+      }
+      lk.lock();
+      continue;
+    }
+
+    if (!wait) {
+      result = Status(ErrorCode::kLockConflict, "lock held");
+      break;
+    }
+    if (NowNanos() >= deadline_ns) {
+      result = Status(ErrorCode::kLockConflict, "lock wait timed out");
+      break;
+    }
+
+    // Ask the conflicting holders' clerks to give the lock up. Upcalls run
+    // outside mu_ so a clerk may synchronously Release().
+    std::vector<RevocationSink*> sinks;
+    for (uint64_t holder : conflicts) {
+      auto hcs = clients_.find(holder);
+      if (hcs != clients_.end() && hcs->second.sink != nullptr) {
+        sinks.push_back(hcs->second.sink);
+      }
+    }
+    revocations_sent_ += sinks.size();
+    lk.unlock();
+    for (RevocationSink* sink : sinks) {
+      sink->OnRevoke(id, target);
+    }
+    for (RevocationSink* sink : expired_sinks) {
+      sink->OnLeaseExpired();
+    }
+    lk.lock();
+    // Holders release asynchronously; poll with a short wait (robust against
+    // missed notifications during the unlocked upcall window).
+    lock.cv.wait_for(lk, std::chrono::microseconds(200));
+  }
+
+  lock.waiters--;
+  if (lock.holders.empty() && lock.waiters == 0) {
+    locks_.erase(id);
+  }
+  return result;
+}
+
+Status LockService::Release(uint64_t client_id, LockId id) {
+  std::lock_guard lk(mu_);
+  auto lit = locks_.find(id);
+  if (lit == locks_.end() ||
+      lit->second.holders.erase(client_id) == 0) {
+    return Status(ErrorCode::kNotFound, "lock not held");
+  }
+  auto cit = clients_.find(client_id);
+  if (cit != clients_.end()) {
+    std::erase(cit->second.held, id);
+    cit->second.lease_deadline_ns = NowNanos() + options_.lease_ms * 1'000'000;
+  }
+  lit->second.cv.notify_all();
+  if (lit->second.holders.empty() && lit->second.waiters == 0) {
+    locks_.erase(lit);
+  }
+  return OkStatus();
+}
+
+Status LockService::Downgrade(uint64_t client_id, LockId id, LockMode to) {
+  std::lock_guard lk(mu_);
+  auto lit = locks_.find(id);
+  if (lit == locks_.end()) {
+    return Status(ErrorCode::kNotFound, "lock not held");
+  }
+  auto hit = lit->second.holders.find(client_id);
+  if (hit == lit->second.holders.end()) {
+    return Status(ErrorCode::kNotFound, "lock not held");
+  }
+  if (!LockModeCovers(hit->second, to)) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "downgrade target stronger than held mode");
+  }
+  hit->second = to;
+  RenewLocked(client_id);
+  lit->second.cv.notify_all();
+  return OkStatus();
+}
+
+Status LockService::Renew(uint64_t client_id) {
+  std::lock_guard lk(mu_);
+  if (clients_.find(client_id) == clients_.end()) {
+    return Status(ErrorCode::kUnavailable, "unknown lock client");
+  }
+  RenewLocked(client_id);
+  return OkStatus();
+}
+
+LockMode LockService::HeldMode(uint64_t client_id, LockId id) const {
+  std::lock_guard lk(mu_);
+  auto lit = locks_.find(id);
+  if (lit == locks_.end()) {
+    return LockMode::kFree;
+  }
+  auto hit = lit->second.holders.find(client_id);
+  return hit == lit->second.holders.end() ? LockMode::kFree : hit->second;
+}
+
+void LockService::RegisterRpc(RpcDispatcher* dispatcher) {
+  dispatcher->Register(
+      kLockRpcAcquire,
+      [this](uint64_t client, std::string_view req) -> Result<std::string> {
+        WireReader r(req);
+        auto id = r.ReadU64();
+        auto mode = r.ReadU8();
+        auto wait = r.ReadU8();
+        if (!id.ok() || !mode.ok() || !wait.ok()) {
+          return Status(ErrorCode::kInvalidArgument, "bad acquire request");
+        }
+        AERIE_RETURN_IF_ERROR(Acquire(client, *id,
+                                      static_cast<LockMode>(*mode),
+                                      *wait != 0));
+        return std::string();
+      });
+  dispatcher->Register(
+      kLockRpcRelease,
+      [this](uint64_t client, std::string_view req) -> Result<std::string> {
+        WireReader r(req);
+        auto id = r.ReadU64();
+        if (!id.ok()) {
+          return Status(ErrorCode::kInvalidArgument, "bad release request");
+        }
+        AERIE_RETURN_IF_ERROR(Release(client, *id));
+        return std::string();
+      });
+  dispatcher->Register(
+      kLockRpcDowngrade,
+      [this](uint64_t client, std::string_view req) -> Result<std::string> {
+        WireReader r(req);
+        auto id = r.ReadU64();
+        auto to = r.ReadU8();
+        if (!id.ok() || !to.ok()) {
+          return Status(ErrorCode::kInvalidArgument, "bad downgrade request");
+        }
+        AERIE_RETURN_IF_ERROR(
+            Downgrade(client, *id, static_cast<LockMode>(*to)));
+        return std::string();
+      });
+  dispatcher->Register(
+      kLockRpcRenew,
+      [this](uint64_t client, std::string_view) -> Result<std::string> {
+        AERIE_RETURN_IF_ERROR(Renew(client));
+        return std::string();
+      });
+}
+
+Status RemoteLockService::Acquire(LockId id, LockMode mode, bool wait) {
+  WireBuffer b;
+  b.AppendU64(id);
+  b.AppendU8(static_cast<uint8_t>(mode));
+  b.AppendU8(wait ? 1 : 0);
+  auto result = transport_->Call(kLockRpcAcquire, b.data());
+  return result.status();
+}
+
+Status RemoteLockService::Release(LockId id) {
+  WireBuffer b;
+  b.AppendU64(id);
+  return transport_->Call(kLockRpcRelease, b.data()).status();
+}
+
+Status RemoteLockService::Downgrade(LockId id, LockMode to) {
+  WireBuffer b;
+  b.AppendU64(id);
+  b.AppendU8(static_cast<uint8_t>(to));
+  return transport_->Call(kLockRpcDowngrade, b.data()).status();
+}
+
+Status RemoteLockService::Renew() {
+  return transport_->Call(kLockRpcRenew, {}).status();
+}
+
+}  // namespace aerie

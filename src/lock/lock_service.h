@@ -1,0 +1,139 @@
+// Centralized lock service executing in the TFS (paper §5.1).
+//
+// Multiple-reader/single-writer locks named by 64-bit ids, with:
+//   * leases — a client that stops renewing implicitly releases everything it
+//     holds, bounding denial of service by unresponsive clients;
+//   * revocation — when a request conflicts with current holders, the service
+//     calls each holder's clerk back (RevocationSink upcall); holders drain
+//     local users, ship batched metadata, and release;
+//   * waiting with timeout — callers are responsible for deadlock avoidance
+//     (lock ordering); a bounded wait converts residual deadlocks into
+//     kLockConflict errors.
+//
+// Unlike the distributed services it derives from (Frangipani, Chubby-style
+// leases) it is single-machine and unreplicated, exactly as in the paper.
+#ifndef AERIE_SRC_LOCK_LOCK_SERVICE_H_
+#define AERIE_SRC_LOCK_LOCK_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/lock/lock_proto.h"
+#include "src/rpc/transport.h"
+
+namespace aerie {
+
+// Upcall interface the clerk registers; called by service threads when
+// another client needs a lock this client holds. Must not block for long and
+// must not call back into the service synchronously (the clerk queues the
+// revoke and handles it on a client thread).
+class RevocationSink {
+ public:
+  virtual ~RevocationSink() = default;
+  virtual void OnRevoke(LockId id, LockMode wanted_mode) = 0;
+  // The client's lease expired and the service dropped its locks; any
+  // unshipped metadata updates are implicitly discarded (paper §4.3).
+  virtual void OnLeaseExpired() {}
+};
+
+class LockService {
+ public:
+  struct Options {
+    uint64_t lease_ms = 2000;
+    // How long Acquire(wait=true) blocks before reporting kLockConflict.
+    uint64_t wait_timeout_ms = 2000;
+  };
+
+  LockService() : options_(Options{}) {}
+  explicit LockService(Options options) : options_(options) {}
+
+  // --- Client session management (called by the TFS daemon wiring) ---
+  void RegisterClient(uint64_t client_id, RevocationSink* sink);
+  // Drops every lock the client holds (clean disconnect or failure).
+  void UnregisterClient(uint64_t client_id);
+
+  // --- Lock operations ---
+  // Acquires or upgrades. `wait` false = try-lock.
+  Status Acquire(uint64_t client_id, LockId id, LockMode mode, bool wait);
+  Status Release(uint64_t client_id, LockId id);
+  // Downgrade to a weaker mode (e.g. XH -> IX during de-escalation).
+  Status Downgrade(uint64_t client_id, LockId id, LockMode to);
+  // Renews the client's lease.
+  Status Renew(uint64_t client_id);
+
+  // Test hook: simulates a client whose lease clock has run out.
+  void ExpireLeaseForTesting(uint64_t client_id);
+
+  // Returns the mode `client_id` holds on `id` (kFree if none).
+  LockMode HeldMode(uint64_t client_id, LockId id) const;
+
+  // True if the client's lease is current (used by the TFS validator).
+  bool LeaseValid(uint64_t client_id) const;
+
+  uint64_t revocations_sent() const { return revocations_sent_; }
+
+  // Wires Acquire/Release/Downgrade/Renew into an RPC dispatcher.
+  void RegisterRpc(RpcDispatcher* dispatcher);
+
+ private:
+  struct LockState {
+    std::map<uint64_t, LockMode> holders;  // client_id -> mode
+    std::condition_variable cv;
+    uint64_t waiters = 0;
+  };
+  struct ClientState {
+    RevocationSink* sink = nullptr;
+    uint64_t lease_deadline_ns = 0;
+    std::vector<LockId> held;  // ids this client holds (for bulk drop)
+  };
+
+  // mu_ held. Returns conflicting holders of `id` vs `mode` for `client_id`.
+  std::vector<uint64_t> ConflictingHolders(const LockState& lock,
+                                           uint64_t client_id,
+                                           LockMode mode) const;
+  // mu_ held. Drops all locks held by `client_id`; notifies waiters.
+  void DropAllLocked(uint64_t client_id, bool notify_sink);
+  // mu_ held. Returns true if the client's lease is current.
+  bool LeaseValidLocked(uint64_t client_id) const;
+  void RenewLocked(uint64_t client_id);
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::unordered_map<LockId, LockState> locks_;
+  std::unordered_map<uint64_t, ClientState> clients_;
+  uint64_t revocations_sent_ = 0;
+};
+
+// Client-side stub interface so the clerk can run against either the
+// in-process service or a remote one over a Transport.
+class LockServiceClient {
+ public:
+  virtual ~LockServiceClient() = default;
+  virtual Status Acquire(LockId id, LockMode mode, bool wait) = 0;
+  virtual Status Release(LockId id) = 0;
+  virtual Status Downgrade(LockId id, LockMode to) = 0;
+  virtual Status Renew() = 0;
+};
+
+// Stub that marshals lock calls over a Transport (RPC methods above).
+class RemoteLockService final : public LockServiceClient {
+ public:
+  explicit RemoteLockService(Transport* transport) : transport_(transport) {}
+
+  Status Acquire(LockId id, LockMode mode, bool wait) override;
+  Status Release(LockId id) override;
+  Status Downgrade(LockId id, LockMode to) override;
+  Status Renew() override;
+
+ private:
+  Transport* transport_;
+};
+
+}  // namespace aerie
+
+#endif  // AERIE_SRC_LOCK_LOCK_SERVICE_H_

@@ -1,0 +1,77 @@
+// Volume: the on-SCM layout of one Aerie file-system partition.
+//
+//   +-------------+------------+---------------+----------------------+
+//   | superblock  |  redo log  |  alloc bitmap |  data area (buddy)   |
+//   +-------------+------------+---------------+----------------------+
+//
+// Both PXFS and FlatFS share one volume layout (paper §6: "each interface
+// provides its own library but both interfaces share the same TFS" and the
+// same memory layout). The TFS opens the volume writable (allocator + log);
+// untrusted clients open it read-only and access objects directly.
+#ifndef AERIE_SRC_OSD_VOLUME_H_
+#define AERIE_SRC_OSD_VOLUME_H_
+
+#include <memory>
+#include <optional>
+
+#include "src/common/status.h"
+#include "src/osd/buddy.h"
+#include "src/osd/oid.h"
+#include "src/osd/osd_context.h"
+#include "src/scm/pmem.h"
+#include "src/txlog/redo_log.h"
+
+namespace aerie {
+
+class Volume {
+ public:
+  struct Options {
+    uint64_t log_bytes = 16ull << 20;
+  };
+
+  // Lays out and initializes a fresh volume over
+  // [partition_offset, partition_offset + partition_size).
+  static Result<std::unique_ptr<Volume>> Format(ScmRegion* region,
+                                                uint64_t partition_offset,
+                                                uint64_t partition_size,
+                                                const Options& options);
+  static Result<std::unique_ptr<Volume>> Format(ScmRegion* region,
+                                                uint64_t partition_offset,
+                                                uint64_t partition_size) {
+    return Format(region, partition_offset, partition_size, Options{});
+  }
+
+  // Opens an existing volume. `writable` mounts the allocator and redo log
+  // (TFS); otherwise the volume is a read-only client view.
+  static Result<std::unique_ptr<Volume>> Open(ScmRegion* region,
+                                              uint64_t partition_offset,
+                                              bool writable);
+
+  ScmRegion* region() const { return region_; }
+  uint64_t partition_offset() const { return partition_offset_; }
+
+  // Context for storage-object code; alloc is null for read-only volumes.
+  OsdContext context() {
+    return OsdContext{region_, allocator_.get()};
+  }
+
+  BuddyAllocator* allocator() { return allocator_.get(); }
+  RedoLog* log() { return log_ ? &*log_ : nullptr; }
+
+  // Root object of the namespace (a collection). Zero until the TFS sets it.
+  Oid root_oid() const;
+  void SetRootOid(Oid oid);
+
+ private:
+  explicit Volume(ScmRegion* region, uint64_t partition_offset)
+      : region_(region), partition_offset_(partition_offset) {}
+
+  ScmRegion* region_;
+  uint64_t partition_offset_;
+  std::unique_ptr<BuddyAllocator> allocator_;
+  std::optional<RedoLog> log_;
+};
+
+}  // namespace aerie
+
+#endif  // AERIE_SRC_OSD_VOLUME_H_

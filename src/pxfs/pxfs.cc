@@ -1,0 +1,1159 @@
+#include "src/pxfs/pxfs.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/scm/manager.h"
+
+namespace aerie {
+
+namespace {
+
+// Splits a path into components ("/a//b/" -> ["a", "b"]).
+Result<std::vector<std::string>> SplitPath(std::string_view path) {
+  if (path.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "empty path");
+  }
+  std::vector<std::string> parts;
+  size_t pos = 0;
+  while (pos < path.size()) {
+    while (pos < path.size() && path[pos] == '/') {
+      pos++;
+    }
+    size_t end = pos;
+    while (end < path.size() && path[end] != '/') {
+      end++;
+    }
+    if (end > pos) {
+      std::string_view comp = path.substr(pos, end - pos);
+      if (comp == "." ) {
+        // skip
+      } else if (comp == "..") {
+        return Status(ErrorCode::kInvalidArgument,
+                      "'..' is not supported in PXFS paths");
+      } else {
+        parts.emplace_back(comp);
+      }
+    }
+    pos = end;
+  }
+  return parts;
+}
+
+std::string CanonicalPath(const std::vector<std::string>& parts) {
+  std::string out = "/";
+  for (size_t i = 0; i < parts.size(); ++i) {
+    out += parts[i];
+    if (i + 1 < parts.size()) {
+      out += "/";
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Pxfs::Pxfs(LibFs* fs, const Options& options)
+    : fs_(fs), options_(options), ctx_(fs->read_context()) {
+  // Whenever a global lock leaves this client (paper §6.1):
+  //   * if it covered a file this client holds open, tell the TFS the file
+  //     is open so unlink-reclaim is deferred ("clients with the file open
+  //     notify the service ... when releasing the lock");
+  //   * flush everything derived from cached authority (name cache, overlay,
+  //     shadows).
+  hook_token_ = fs_->AddReleaseHook([this](LockId) {
+    // A released lock may have covered any open file (directly, or through
+    // a hierarchical ancestor the clerk had cached), so every locally-open,
+    // not-yet-notified file is reported before the lock leaves us.
+    std::vector<uint64_t> notify;
+    {
+      std::lock_guard lock(fds_mu_);
+      for (const auto& [raw, count] : open_counts_) {
+        if (count > 0 && notified_open_.insert(raw).second) {
+          notify.push_back(raw);
+        }
+      }
+    }
+    for (uint64_t raw : notify) {
+      (void)fs_->NotifyOpen(Oid(raw));
+    }
+    ClearVolatileState();
+  });
+}
+
+Pxfs::~Pxfs() { fs_->RemoveReleaseHook(hook_token_); }
+
+void Pxfs::ClearVolatileState() {
+  {
+    std::lock_guard lock(overlay_mu_);
+    overlay_.clear();
+    shadows_.clear();
+  }
+  FlushNameCache();
+}
+
+void Pxfs::FlushNameCache() {
+  std::lock_guard lock(cache_mu_);
+  name_cache_.clear();
+}
+
+Result<Oid> Pxfs::DirLookup(Oid dir, const std::string& name) {
+  {
+    std::lock_guard lock(overlay_mu_);
+    auto it = overlay_.find(dir.raw());
+    if (it != overlay_.end()) {
+      auto added = it->second.added.find(name);
+      if (added != it->second.added.end()) {
+        return Oid(added->second);
+      }
+      if (it->second.removed.count(name) != 0) {
+        return Status(ErrorCode::kNotFound, "name removed");
+      }
+    }
+  }
+  AERIE_ASSIGN_OR_RETURN(Collection coll, Collection::Open(ctx_, dir));
+  auto value = coll.Lookup(name);
+  if (!value.ok()) {
+    return value.status();
+  }
+  return Oid(*value);
+}
+
+void Pxfs::OverlayAdd(Oid dir, const std::string& name, Oid oid) {
+  std::lock_guard lock(overlay_mu_);
+  DirOverlay& ov = overlay_[dir.raw()];
+  ov.added[name] = oid.raw();
+  ov.removed.erase(name);
+}
+
+void Pxfs::OverlayRemove(Oid dir, const std::string& name) {
+  std::lock_guard lock(overlay_mu_);
+  DirOverlay& ov = overlay_[dir.raw()];
+  ov.added.erase(name);
+  ov.removed.insert(name);
+}
+
+std::shared_ptr<Pxfs::FileShadow> Pxfs::ShadowFor(Oid file, bool create) {
+  std::lock_guard lock(overlay_mu_);
+  auto it = shadows_.find(file.raw());
+  if (it != shadows_.end()) {
+    return it->second;
+  }
+  if (!create) {
+    return nullptr;
+  }
+  auto shadow = std::make_shared<FileShadow>();
+  shadows_[file.raw()] = shadow;
+  return shadow;
+}
+
+Result<Pxfs::Resolved> Pxfs::Resolve(std::string_view path, bool fill_cache) {
+  // Relative paths resolve from the working directory and skip the name
+  // cache entirely (paper §6.1).
+  const bool relative = !path.empty() && path[0] != '/';
+  Oid start = fs_->pxfs_root();
+  std::vector<LockId> start_ancestors;
+  if (relative) {
+    std::lock_guard lock(cwd_mu_);
+    if (!cwd_oid_.IsNull()) {
+      start = cwd_oid_;
+      start_ancestors = cwd_ancestors_;
+    }
+  }
+  AERIE_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  Resolved out;
+  if (parts.empty()) {
+    out.parent = start;
+    out.target = start;
+    out.leaf = "";
+    out.ancestors = start_ancestors;
+    return out;
+  }
+  const std::string canonical = CanonicalPath(parts);
+
+  if (options_.name_cache && !relative) {
+    std::lock_guard lock(cache_mu_);
+    auto it = name_cache_.find(canonical);
+    if (it != name_cache_.end()) {
+      cache_hits_++;
+      out.parent = Oid(it->second.parent_raw);
+      out.target = Oid(it->second.target_raw);
+      out.leaf = parts.back();
+      out.ancestors = it->second.ancestors;
+      return out;
+    }
+    cache_misses_++;
+  }
+
+  // Walk from the start directory, taking a read lock on each directory
+  // while its collection is consulted (paper §6.1 "Naming").
+  Oid cur = start;
+  std::vector<LockId> ancestors = start_ancestors;
+  std::string prefix = "";
+  LockClerk* clerk = fs_->clerk();
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    AERIE_RETURN_IF_ERROR(
+        clerk->Acquire(cur.lock_id(), LockMode::kShared, ancestors));
+    auto child = DirLookup(cur, parts[i]);
+    clerk->Release(cur.lock_id());
+    if (!child.ok()) {
+      return child.status();
+    }
+    if (child->type() != ObjType::kCollection) {
+      return Status(ErrorCode::kNotDirectory, parts[i]);
+    }
+    ancestors.push_back(cur.lock_id());
+    prefix += "/" + parts[i];
+    if (options_.name_cache && fill_cache && !relative) {
+      std::lock_guard lock(cache_mu_);
+      // Entry for each resolved prefix (created on demand, §6.1).
+      name_cache_[prefix] =
+          CacheEntry{child->raw(), cur.raw(),
+                     std::vector<LockId>(ancestors.begin(),
+                                         ancestors.end() - 1)};
+    }
+    cur = *child;
+  }
+
+  out.parent = cur;
+  out.leaf = parts.back();
+  out.ancestors = ancestors;
+  AERIE_RETURN_IF_ERROR(
+      clerk->Acquire(cur.lock_id(), LockMode::kShared, ancestors));
+  auto target = DirLookup(cur, out.leaf);
+  clerk->Release(cur.lock_id());
+  if (target.ok()) {
+    out.target = *target;
+    if (options_.name_cache && fill_cache && !relative) {
+      std::lock_guard lock(cache_mu_);
+      if (name_cache_.size() >= options_.name_cache_max) {
+        name_cache_.clear();  // cheap wholesale eviction
+      }
+      name_cache_[canonical] =
+          CacheEntry{out.target.raw(), out.parent.raw(), out.ancestors};
+    }
+  }
+  return out;
+}
+
+uint64_t Pxfs::FileSizeNoShadow(Oid file) {
+  auto mfile = MFile::Open(ctx_, file);
+  return mfile.ok() ? mfile->size() : 0;
+}
+
+uint64_t Pxfs::FileSize(Oid file) {
+  auto shadow = ShadowFor(file, /*create=*/false);
+  if (shadow != nullptr && shadow->has_size) {
+    return shadow->size;
+  }
+  auto mfile = MFile::Open(ctx_, file);
+  return mfile.ok() ? mfile->size() : 0;
+}
+
+// --- Open / Close ----------------------------------------------------------
+
+Result<int> Pxfs::Open(std::string_view path, int flags) {
+  if ((flags & (kOpenRead | kOpenWrite)) == 0) {
+    return Status(ErrorCode::kInvalidArgument, "open needs read or write");
+  }
+  AERIE_ASSIGN_OR_RETURN(Resolved r, Resolve(path, /*fill_cache=*/true));
+  LockClerk* clerk = fs_->clerk();
+
+  if (r.target.IsNull()) {
+    if ((flags & kOpenCreate) == 0) {
+      return Status(ErrorCode::kNotFound, std::string(path));
+    }
+    // Create: write-lock the directory, re-check, take a pooled mFile, and
+    // log the create (paper §4.3's "life of a file").
+    AERIE_RETURN_IF_ERROR(
+        clerk->Acquire(r.parent.lock_id(), DirWriteMode(), r.ancestors));
+    auto recheck = DirLookup(r.parent, r.leaf);
+    if (recheck.ok()) {
+      r.target = *recheck;
+    } else {
+      auto pooled = fs_->TakePooled(ObjType::kMFile);
+      if (!pooled.ok()) {
+        clerk->Release(r.parent.lock_id());
+        return pooled.status();
+      }
+      MetaOp op;
+      op.type = MetaOpType::kCreateFile;
+      op.authority = clerk->GlobalAuthorityOf(r.parent.lock_id());
+      op.dir = r.parent;
+      op.name = r.leaf;
+      op.obj = *pooled;
+      Status st = fs_->LogOp(std::move(op));
+      if (!st.ok()) {
+        clerk->Release(r.parent.lock_id());
+        return st;
+      }
+      OverlayAdd(r.parent, r.leaf, *pooled);
+      r.target = *pooled;
+    }
+    clerk->Release(r.parent.lock_id());
+  }
+  if (r.target.type() != ObjType::kMFile) {
+    return Status(ErrorCode::kIsDirectory, std::string(path));
+  }
+
+  // Acquire the file's lock (paper §6.1 "File sharing"). The *client* holds
+  // it — cached at the clerk — until revoked; data-path operations re-take
+  // the local grant per call, so multiple fds and threads coexist.
+  std::vector<LockId> chain = r.ancestors;
+  chain.push_back(r.parent.lock_id());
+  const LockMode mode =
+      (flags & kOpenWrite) ? LockMode::kExclusive : LockMode::kShared;
+  AERIE_RETURN_IF_ERROR(clerk->Acquire(r.target.lock_id(), mode, chain));
+  clerk->Release(r.target.lock_id());
+
+  if (flags & kOpenTrunc) {
+    MetaOp op;
+    op.type = MetaOpType::kTruncate;
+    op.authority = clerk->GlobalAuthorityOf(r.target.lock_id());
+    op.obj = r.target;
+    op.a = 0;
+    AERIE_RETURN_IF_ERROR(fs_->LogOp(std::move(op)));
+    auto shadow = ShadowFor(r.target, /*create=*/true);
+    std::lock_guard lock(overlay_mu_);
+    shadow->extents.clear();
+    shadow->size = 0;
+    shadow->has_size = true;
+    shadow->mfile_floor = 0;  // the pending truncate frees every SCM extent
+  }
+
+  std::lock_guard lock(fds_mu_);
+  auto entry = std::make_unique<FdEntry>();
+  entry->oid = r.target;
+  entry->dir = r.parent;
+  entry->flags = flags;
+  entry->ancestors = std::move(chain);
+  entry->offset = (flags & kOpenAppend) ? FileSize(r.target) : 0;
+  open_counts_[r.target.raw()]++;
+
+  int fd;
+  if (!free_fds_.empty()) {
+    fd = free_fds_.back();
+    free_fds_.pop_back();
+    fds_[static_cast<size_t>(fd)] = std::move(entry);
+  } else {
+    fd = static_cast<int>(fds_.size());
+    fds_.push_back(std::move(entry));
+  }
+  return fd;
+}
+
+Status Pxfs::Close(int fd) {
+  std::unique_ptr<FdEntry> entry;
+  bool notify_closed = false;
+  {
+    std::lock_guard lock(fds_mu_);
+    if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() ||
+        fds_[static_cast<size_t>(fd)] == nullptr) {
+      return Status(ErrorCode::kBadHandle, "bad fd");
+    }
+    entry = std::move(fds_[static_cast<size_t>(fd)]);
+    free_fds_.push_back(fd);
+    auto it = open_counts_.find(entry->oid.raw());
+    if (it != open_counts_.end() && --it->second == 0) {
+      open_counts_.erase(it);
+      notify_closed = notified_open_.erase(entry->oid.raw()) != 0;
+    }
+  }
+  if (notify_closed) {
+    // Server may now reclaim the file if it was unlinked (paper §6.1).
+    return fs_->NotifyClosed(entry->oid);
+  }
+  return OkStatus();
+}
+
+// --- Data path ---------------------------------------------------------------
+
+Result<uint64_t> Pxfs::ReadAt(const FdEntry& entry, uint64_t offset,
+                              std::span<char> out) {
+  if (options_.enforce_memory_protection) {
+    auto mfile = MFile::Open(ctx_, entry.oid);
+    if (mfile.ok()) {
+      const uint32_t rights = AclRights(mfile->acl());
+      if (rights != 0 && (rights & kAclRightRead) == 0) {
+        // Write-only file: memory protection cannot express it, so the
+        // hardware maps it no-access and reads are denied at the FS level
+        // (paper §5.3.3).
+        return Status(ErrorCode::kPermissionDenied,
+                      "file is write-only");
+      }
+    }
+  }
+  const uint64_t file_size = FileSize(entry.oid);
+  if (offset >= file_size) {
+    return 0;
+  }
+  const uint64_t want = std::min<uint64_t>(out.size(), file_size - offset);
+  AERIE_ASSIGN_OR_RETURN(MFile mfile, MFile::Open(ctx_, entry.oid));
+  auto shadow = ShadowFor(entry.oid, /*create=*/false);
+
+  uint64_t done = 0;
+  while (done < want) {
+    const uint64_t pos = offset + done;
+    const uint64_t page = pos / kScmPageSize;
+    const uint64_t in_page = pos % kScmPageSize;
+    const uint64_t chunk = std::min(want - done, kScmPageSize - in_page);
+    uint64_t extent = 0;
+    uint64_t floor = ~0ull;
+    if (shadow != nullptr) {
+      std::lock_guard lock(overlay_mu_);
+      floor = shadow->mfile_floor;
+      auto it = shadow->extents.find(page);
+      if (it != shadow->extents.end()) {
+        extent = it->second;
+      }
+    }
+    // Pages past a pending truncate read as holes: their SCM mapping is
+    // scheduled to be freed when the batch applies.
+    if (extent == 0 && page < floor) {
+      auto found = mfile.ExtentForPage(page);
+      if (found.ok()) {
+        extent = *found;
+      }
+    }
+    if (extent != 0) {
+      std::memcpy(out.data() + done, ctx_.region->PtrAt(extent) + in_page,
+                  chunk);
+    } else {
+      std::memset(out.data() + done, 0, chunk);
+    }
+    done += chunk;
+  }
+  return done;
+}
+
+Result<uint64_t> Pxfs::WriteAt(FdEntry* entry, uint64_t offset,
+                               std::span<const char> data) {
+  if ((entry->flags & kOpenWrite) == 0) {
+    return Status(ErrorCode::kPermissionDenied, "fd not open for write");
+  }
+  if (data.empty()) {
+    return 0;
+  }
+  if (options_.enforce_memory_protection) {
+    auto mfile = MFile::Open(ctx_, entry->oid);
+    if (mfile.ok()) {
+      const uint32_t rights = AclRights(mfile->acl());
+      if (rights != 0 && (rights & kAclRightRead) == 0) {
+        // Write-only: FS-level permissions allow the write, but memory
+        // protection maps the extents no-access — route the data through
+        // the trusted service (paper §5.3.3: "the library calls into the
+        // TFS for any operations allowed by file system level permissions
+        // but prevented by memory protection").
+        AERIE_RETURN_IF_ERROR(fs_->ServiceWrite(entry->oid, offset, data));
+        auto shadow = ShadowFor(entry->oid, /*create=*/true);
+        std::lock_guard lock(overlay_mu_);
+        if (!shadow->has_size || offset + data.size() > shadow->size) {
+          shadow->size = offset + data.size();
+          shadow->has_size = true;
+        }
+        return data.size();
+      }
+      if (rights != 0 && (rights & kAclRightWrite) == 0) {
+        return Status(ErrorCode::kPermissionDenied, "file is read-only");
+      }
+    }
+  }
+  AERIE_ASSIGN_OR_RETURN(MFile mfile, MFile::Open(ctx_, entry->oid));
+  LockClerk* clerk = fs_->clerk();
+  auto shadow = ShadowFor(entry->oid, /*create=*/true);
+
+  // One overlay critical section for the whole call; attach ops are logged
+  // in bulk afterwards (a 128KB write is 32 pages — per-page locking and
+  // logging would dominate).
+  const uint64_t authority =
+      clerk->GlobalAuthorityOf(entry->oid.lock_id());
+  std::vector<MetaOp> attach_ops;
+  {
+    std::lock_guard lock(overlay_mu_);
+    const uint64_t floor = shadow->mfile_floor;
+    uint64_t done = 0;
+    while (done < data.size()) {
+      const uint64_t pos = offset + done;
+      const uint64_t page = pos / kScmPageSize;
+      const uint64_t in_page = pos % kScmPageSize;
+      const uint64_t chunk =
+          std::min<uint64_t>(data.size() - done, kScmPageSize - in_page);
+
+      uint64_t extent = 0;
+      auto it = shadow->extents.find(page);
+      if (it != shadow->extents.end()) {
+        extent = it->second;
+      }
+      if (extent == 0 && page < floor) {
+        // The persistent mapping is only trustworthy below any pending
+        // truncate point (the truncate will free those extents at apply).
+        auto found = mfile.ExtentForPage(page);
+        if (found.ok()) {
+          extent = *found;
+        }
+      }
+      if (extent != 0) {
+        // Data writes go straight to SCM; no service involvement (§4.2).
+        ctx_.region->StreamWrite(ctx_.region->PtrAt(extent) + in_page,
+                                 data.data() + done, chunk);
+      } else {
+        // Hole: take a pre-allocated extent, fill it, and log the attach
+        // (paper §5.3.5: the server only verifies and attaches).
+        auto pooled = fs_->TakePooled(ObjType::kExtent);
+        if (!pooled.ok()) {
+          return pooled.status();
+        }
+        extent = pooled->offset();
+        char* dst = ctx_.region->PtrAt(extent);
+        if (chunk != kScmPageSize) {
+          std::memset(dst, 0, kScmPageSize);
+        }
+        // Streaming stores, drained by the BFlush below (same charged path
+        // as overwrites).
+        ctx_.region->StreamWrite(dst + in_page, data.data() + done, chunk);
+
+        MetaOp op;
+        op.type = MetaOpType::kAttachExtent;
+        op.authority = authority;
+        op.obj = entry->oid;
+        op.a = page;
+        op.b = extent;
+        attach_ops.push_back(std::move(op));
+        shadow->extents[page] = extent;
+      }
+      done += chunk;
+    }
+    const uint64_t new_end = offset + data.size();
+    const uint64_t old_size =
+        shadow->has_size ? shadow->size : mfile.size();
+    if (new_end > old_size) {
+      MetaOp op;
+      op.type = MetaOpType::kSetSize;
+      op.authority = authority;
+      op.obj = entry->oid;
+      op.a = new_end;
+      attach_ops.push_back(std::move(op));
+      shadow->size = new_end;
+      shadow->has_size = true;
+    }
+  }
+  if (options_.flush_data_on_write) {
+    ctx_.region->BFlush();
+  }
+  if (!attach_ops.empty()) {
+    AERIE_RETURN_IF_ERROR(fs_->LogOps(std::move(attach_ops)));
+  }
+  return data.size();
+}
+
+Result<uint64_t> Pxfs::Read(int fd, std::span<char> out) {
+  FdEntry* entry;
+  uint64_t offset;
+  {
+    std::lock_guard lock(fds_mu_);
+    if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() ||
+        fds_[static_cast<size_t>(fd)] == nullptr) {
+      return Status(ErrorCode::kBadHandle, "bad fd");
+    }
+    entry = fds_[static_cast<size_t>(fd)].get();
+    offset = entry->offset;
+  }
+  LockClerk* clerk = fs_->clerk();
+  AERIE_RETURN_IF_ERROR(
+      clerk->Acquire(entry->oid.lock_id(), LockMode::kShared,
+                     entry->ancestors));
+  auto n = ReadAt(*entry, offset, out);
+  clerk->Release(entry->oid.lock_id());
+  if (n.ok()) {
+    std::lock_guard lock(fds_mu_);
+    entry->offset = offset + *n;
+  }
+  return n;
+}
+
+Result<uint64_t> Pxfs::Write(int fd, std::span<const char> data) {
+  FdEntry* entry;
+  uint64_t offset;
+  {
+    std::lock_guard lock(fds_mu_);
+    if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() ||
+        fds_[static_cast<size_t>(fd)] == nullptr) {
+      return Status(ErrorCode::kBadHandle, "bad fd");
+    }
+    entry = fds_[static_cast<size_t>(fd)].get();
+    offset = (entry->flags & kOpenAppend) ? FileSize(entry->oid)
+                                          : entry->offset;
+  }
+  LockClerk* clerk = fs_->clerk();
+  AERIE_RETURN_IF_ERROR(
+      clerk->Acquire(entry->oid.lock_id(), LockMode::kExclusive,
+                     entry->ancestors));
+  auto n = WriteAt(entry, offset, data);
+  clerk->Release(entry->oid.lock_id());
+  if (n.ok()) {
+    std::lock_guard lock(fds_mu_);
+    entry->offset = offset + *n;
+  }
+  return n;
+}
+
+Result<uint64_t> Pxfs::Pread(int fd, uint64_t offset, std::span<char> out) {
+  std::unique_lock lock(fds_mu_);
+  if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() ||
+      fds_[static_cast<size_t>(fd)] == nullptr) {
+    return Status(ErrorCode::kBadHandle, "bad fd");
+  }
+  FdEntry* entry = fds_[static_cast<size_t>(fd)].get();
+  lock.unlock();
+  LockClerk* clerk = fs_->clerk();
+  AERIE_RETURN_IF_ERROR(
+      clerk->Acquire(entry->oid.lock_id(), LockMode::kShared,
+                     entry->ancestors));
+  auto n = ReadAt(*entry, offset, out);
+  clerk->Release(entry->oid.lock_id());
+  return n;
+}
+
+Result<uint64_t> Pxfs::Pwrite(int fd, uint64_t offset,
+                              std::span<const char> data) {
+  std::unique_lock lock(fds_mu_);
+  if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() ||
+      fds_[static_cast<size_t>(fd)] == nullptr) {
+    return Status(ErrorCode::kBadHandle, "bad fd");
+  }
+  FdEntry* entry = fds_[static_cast<size_t>(fd)].get();
+  lock.unlock();
+  LockClerk* clerk = fs_->clerk();
+  AERIE_RETURN_IF_ERROR(
+      clerk->Acquire(entry->oid.lock_id(), LockMode::kExclusive,
+                     entry->ancestors));
+  auto n = WriteAt(entry, offset, data);
+  clerk->Release(entry->oid.lock_id());
+  return n;
+}
+
+Result<uint64_t> Pxfs::Seek(int fd, uint64_t offset) {
+  std::lock_guard lock(fds_mu_);
+  if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() ||
+      fds_[static_cast<size_t>(fd)] == nullptr) {
+    return Status(ErrorCode::kBadHandle, "bad fd");
+  }
+  fds_[static_cast<size_t>(fd)]->offset = offset;
+  return offset;
+}
+
+Status Pxfs::Ftruncate(int fd, uint64_t size) {
+  Oid oid;
+  {
+    std::lock_guard lock(fds_mu_);
+    if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() ||
+        fds_[static_cast<size_t>(fd)] == nullptr) {
+      return Status(ErrorCode::kBadHandle, "bad fd");
+    }
+    if ((fds_[static_cast<size_t>(fd)]->flags & kOpenWrite) == 0) {
+      return Status(ErrorCode::kPermissionDenied, "fd not open for write");
+    }
+    oid = fds_[static_cast<size_t>(fd)]->oid;
+  }
+  LockClerk* clerk = fs_->clerk();
+  std::vector<LockId> chain;
+  {
+    std::lock_guard lock(fds_mu_);
+    chain = fds_[static_cast<size_t>(fd)]->ancestors;
+  }
+  AERIE_RETURN_IF_ERROR(
+      clerk->Acquire(oid.lock_id(), LockMode::kExclusive, chain));
+  MetaOp op;
+  op.type = MetaOpType::kTruncate;
+  op.authority = clerk->GlobalAuthorityOf(oid.lock_id());
+  op.obj = oid;
+  op.a = size;
+  Status st = fs_->LogOp(std::move(op));
+  if (st.ok()) {
+    auto shadow = ShadowFor(oid, /*create=*/true);
+    std::lock_guard lock(overlay_mu_);
+    const uint64_t old_size = shadow->has_size
+                                  ? shadow->size
+                                  : FileSizeNoShadow(oid);
+    shadow->size = size;
+    shadow->has_size = true;
+    const uint64_t keep = (size + kScmPageSize - 1) / kScmPageSize;
+    shadow->mfile_floor = std::min(shadow->mfile_floor, keep);
+    for (auto it = shadow->extents.lower_bound(keep);
+         it != shadow->extents.end();) {
+      it = shadow->extents.erase(it);
+    }
+    // POSIX zero-fill: the boundary page's tail must not resurface if the
+    // file is extended later. The server's apply does the same for the
+    // persistent mapping; this covers the client's pending-extent view.
+    if (size < old_size && size % kScmPageSize != 0) {
+      const uint64_t page = size / kScmPageSize;
+      uint64_t extent = 0;
+      auto sit = shadow->extents.find(page);
+      if (sit != shadow->extents.end()) {
+        extent = sit->second;
+      } else {
+        auto mfile = MFile::Open(ctx_, oid);
+        if (mfile.ok()) {
+          auto found = mfile->ExtentForPage(page);
+          if (found.ok()) {
+            extent = *found;
+          }
+        }
+      }
+      if (extent != 0) {
+        char* data = ctx_.region->PtrAt(extent);
+        const uint64_t in_page = size % kScmPageSize;
+        std::memset(data + in_page, 0, kScmPageSize - in_page);
+        ctx_.region->WlFlush(data + in_page, kScmPageSize - in_page);
+      }
+    }
+  }
+  clerk->Release(oid.lock_id());
+  return st;
+}
+
+Status Pxfs::Fsync(int fd) {
+  {
+    std::lock_guard lock(fds_mu_);
+    if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() ||
+        fds_[static_cast<size_t>(fd)] == nullptr) {
+      return Status(ErrorCode::kBadHandle, "bad fd");
+    }
+  }
+  ctx_.region->BFlush();
+  return fs_->Sync();
+}
+
+Result<PxfsStat> Pxfs::Fstat(int fd) {
+  Oid oid;
+  {
+    std::lock_guard lock(fds_mu_);
+    if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() ||
+        fds_[static_cast<size_t>(fd)] == nullptr) {
+      return Status(ErrorCode::kBadHandle, "bad fd");
+    }
+    oid = fds_[static_cast<size_t>(fd)]->oid;
+  }
+  AERIE_ASSIGN_OR_RETURN(MFile mfile, MFile::Open(ctx_, oid));
+  PxfsStat st;
+  st.oid = oid;
+  st.is_dir = false;
+  st.size = FileSize(oid);
+  st.link_count = mfile.link_count();
+  st.acl = mfile.acl();
+  return st;
+}
+
+// --- Namespace operations ----------------------------------------------------
+
+Status Pxfs::Create(std::string_view path) {
+  AERIE_ASSIGN_OR_RETURN(int fd, Open(path, kOpenCreate | kOpenWrite));
+  return Close(fd);
+}
+
+Status Pxfs::Mkdir(std::string_view path) {
+  AERIE_ASSIGN_OR_RETURN(Resolved r, Resolve(path, /*fill_cache=*/false));
+  if (!r.target.IsNull()) {
+    return Status(ErrorCode::kAlreadyExists, std::string(path));
+  }
+  LockClerk* clerk = fs_->clerk();
+  AERIE_RETURN_IF_ERROR(
+      clerk->Acquire(r.parent.lock_id(), DirWriteMode(), r.ancestors));
+  Status st = OkStatus();
+  if (DirLookup(r.parent, r.leaf).ok()) {
+    st = Status(ErrorCode::kAlreadyExists, std::string(path));
+  } else {
+    auto pooled = fs_->TakePooled(ObjType::kCollection);
+    if (!pooled.ok()) {
+      st = pooled.status();
+    } else {
+      MetaOp op;
+      op.type = MetaOpType::kCreateDir;
+      op.authority = clerk->GlobalAuthorityOf(r.parent.lock_id());
+      op.dir = r.parent;
+      op.name = r.leaf;
+      op.obj = *pooled;
+      st = fs_->LogOp(std::move(op));
+      if (st.ok()) {
+        OverlayAdd(r.parent, r.leaf, *pooled);
+      }
+    }
+  }
+  clerk->Release(r.parent.lock_id());
+  return st;
+}
+
+Status Pxfs::UnlinkLocked(const Resolved& r) {
+  LockClerk* clerk = fs_->clerk();
+  if (r.target.type() == ObjType::kMFile) {
+    // Request the victim's file lock: any other client holding it with the
+    // file open will notify the TFS while releasing, so reclamation is
+    // deferred (paper §6.1 "File sharing").
+    std::vector<LockId> chain = r.ancestors;
+    chain.push_back(r.parent.lock_id());
+    AERIE_RETURN_IF_ERROR(
+        clerk->Acquire(r.target.lock_id(), LockMode::kExclusive, chain));
+    clerk->Release(r.target.lock_id());
+
+    // If this client has it open itself, notify directly.
+    bool open_here = false;
+    {
+      std::lock_guard lock(fds_mu_);
+      open_here = open_counts_.count(r.target.raw()) != 0 &&
+                  notified_open_.count(r.target.raw()) == 0;
+      if (open_here) {
+        notified_open_.insert(r.target.raw());
+      }
+    }
+    if (open_here) {
+      AERIE_RETURN_IF_ERROR(fs_->NotifyOpen(r.target));
+    }
+  }
+  MetaOp op;
+  op.type = MetaOpType::kUnlink;
+  op.authority = clerk->GlobalAuthorityOf(r.parent.lock_id());
+  op.dir = r.parent;
+  op.name = r.leaf;
+  AERIE_RETURN_IF_ERROR(fs_->LogOp(std::move(op)));
+  OverlayRemove(r.parent, r.leaf);
+  return OkStatus();
+}
+
+Status Pxfs::Unlink(std::string_view path) {
+  AERIE_ASSIGN_OR_RETURN(Resolved r, Resolve(path, /*fill_cache=*/false));
+  if (r.target.IsNull()) {
+    return Status(ErrorCode::kNotFound, std::string(path));
+  }
+  if (r.target.type() != ObjType::kMFile) {
+    return Status(ErrorCode::kIsDirectory, std::string(path));
+  }
+  LockClerk* clerk = fs_->clerk();
+  AERIE_RETURN_IF_ERROR(
+      clerk->Acquire(r.parent.lock_id(), DirWriteMode(), r.ancestors));
+  Status st = UnlinkLocked(r);
+  clerk->Release(r.parent.lock_id());
+  if (st.ok()) {
+    std::lock_guard lock(cache_mu_);
+    name_cache_.erase(std::string(path));
+  }
+  return st;
+}
+
+Status Pxfs::Rmdir(std::string_view path) {
+  AERIE_ASSIGN_OR_RETURN(Resolved r, Resolve(path, /*fill_cache=*/false));
+  if (r.target.IsNull()) {
+    return Status(ErrorCode::kNotFound, std::string(path));
+  }
+  if (r.target.type() != ObjType::kCollection) {
+    return Status(ErrorCode::kNotDirectory, std::string(path));
+  }
+  LockClerk* clerk = fs_->clerk();
+  AERIE_RETURN_IF_ERROR(
+      clerk->Acquire(r.parent.lock_id(), DirWriteMode(), r.ancestors));
+  Status st = OkStatus();
+  // Client-side emptiness check against SCM plus this client's pending
+  // overlay (the server re-validates against applied state at ship time).
+  bool empty = true;
+  {
+    std::vector<std::string> applied;
+    auto coll = Collection::Open(ctx_, r.target);
+    if (coll.ok()) {
+      (void)coll->Scan([&](std::string_view name, uint64_t) {
+        applied.emplace_back(name);
+        return true;
+      });
+    }
+    std::lock_guard lock(overlay_mu_);
+    auto it = overlay_.find(r.target.raw());
+    if (it != overlay_.end() && !it->second.added.empty()) {
+      empty = false;
+    }
+    for (const std::string& name : applied) {
+      if (it == overlay_.end() || it->second.removed.count(name) == 0) {
+        empty = false;
+        break;
+      }
+    }
+  }
+  if (!empty) {
+    st = Status(ErrorCode::kNotEmpty, std::string(path));
+  } else {
+    st = UnlinkLocked(r);
+  }
+  clerk->Release(r.parent.lock_id());
+  if (st.ok()) {
+    FlushNameCache();  // descendant paths are gone
+  }
+  return st;
+}
+
+Status Pxfs::Rename(std::string_view from, std::string_view to) {
+  AERIE_ASSIGN_OR_RETURN(Resolved src, Resolve(from, /*fill_cache=*/false));
+  AERIE_ASSIGN_OR_RETURN(Resolved dst, Resolve(to, /*fill_cache=*/false));
+  if (src.target.IsNull()) {
+    return Status(ErrorCode::kNotFound, std::string(from));
+  }
+  if (src.target == dst.target && src.parent == dst.parent &&
+      src.leaf == dst.leaf) {
+    return OkStatus();  // POSIX: renaming a file onto itself does nothing
+  }
+  LockClerk* clerk = fs_->clerk();
+
+  // Lock both directories in lock-id order (paper §6.1: both locks taken
+  // before the operation; ordering prevents deadlock).
+  const LockId a = std::min(src.parent.lock_id(), dst.parent.lock_id());
+  const LockId b = std::max(src.parent.lock_id(), dst.parent.lock_id());
+  const std::vector<LockId>& a_anc =
+      a == src.parent.lock_id() ? src.ancestors : dst.ancestors;
+  const std::vector<LockId>& b_anc =
+      b == src.parent.lock_id() ? src.ancestors : dst.ancestors;
+  AERIE_RETURN_IF_ERROR(clerk->Acquire(a, DirWriteMode(), a_anc));
+  if (b != a) {
+    Status st = clerk->Acquire(b, DirWriteMode(), b_anc);
+    if (!st.ok()) {
+      clerk->Release(a);
+      return st;
+    }
+  }
+
+  if (!dst.target.IsNull() && dst.target.type() == ObjType::kMFile) {
+    std::vector<LockId> chain = dst.ancestors;
+    chain.push_back(dst.parent.lock_id());
+    Status vst =
+        clerk->Acquire(dst.target.lock_id(), LockMode::kExclusive, chain);
+    if (vst.ok()) {
+      clerk->Release(dst.target.lock_id());
+    }
+  }
+
+  MetaOp op;
+  op.type = MetaOpType::kRename;
+  op.authority = clerk->GlobalAuthorityOf(src.parent.lock_id());
+  op.dir = src.parent;
+  op.name = src.leaf;
+  op.dir2 = dst.parent;
+  op.name2 = dst.leaf;
+  Status st = fs_->LogOp(std::move(op));
+  if (st.ok()) {
+    OverlayRemove(src.parent, src.leaf);
+    OverlayAdd(dst.parent, dst.leaf, src.target);
+  }
+  if (b != a) {
+    clerk->Release(b);
+  }
+  clerk->Release(a);
+
+  if (st.ok()) {
+    if (src.target.type() == ObjType::kCollection) {
+      FlushNameCache();  // all descendant paths moved
+    } else {
+      std::lock_guard lock(cache_mu_);
+      name_cache_.erase(std::string(from));
+      name_cache_.erase(std::string(to));
+    }
+  }
+  return st;
+}
+
+Status Pxfs::Link(std::string_view from, std::string_view to) {
+  AERIE_ASSIGN_OR_RETURN(Resolved src, Resolve(from, /*fill_cache=*/false));
+  AERIE_ASSIGN_OR_RETURN(Resolved dst, Resolve(to, /*fill_cache=*/false));
+  if (src.target.IsNull()) {
+    return Status(ErrorCode::kNotFound, std::string(from));
+  }
+  if (src.target.type() != ObjType::kMFile) {
+    return Status(ErrorCode::kIsDirectory, "cannot hard-link a directory");
+  }
+  if (!dst.target.IsNull()) {
+    return Status(ErrorCode::kAlreadyExists, std::string(to));
+  }
+  LockClerk* clerk = fs_->clerk();
+  AERIE_RETURN_IF_ERROR(
+      clerk->Acquire(dst.parent.lock_id(), DirWriteMode(), dst.ancestors));
+  MetaOp op;
+  op.type = MetaOpType::kLink;
+  op.authority = clerk->GlobalAuthorityOf(dst.parent.lock_id());
+  op.dir = dst.parent;
+  op.name = dst.leaf;
+  op.obj = src.target;
+  Status st = fs_->LogOp(std::move(op));
+  if (st.ok()) {
+    OverlayAdd(dst.parent, dst.leaf, src.target);
+  }
+  clerk->Release(dst.parent.lock_id());
+  return st;
+}
+
+Result<PxfsStat> Pxfs::Stat(std::string_view path) {
+  AERIE_ASSIGN_OR_RETURN(Resolved r, Resolve(path, /*fill_cache=*/true));
+  if (r.target.IsNull()) {
+    return Status(ErrorCode::kNotFound, std::string(path));
+  }
+  LockClerk* clerk = fs_->clerk();
+  std::vector<LockId> chain = r.ancestors;
+  if (!(r.target == fs_->pxfs_root())) {
+    chain.push_back(r.parent.lock_id());
+  }
+  AERIE_RETURN_IF_ERROR(
+      clerk->Acquire(r.target.lock_id(), LockMode::kShared, chain));
+  PxfsStat st;
+  st.oid = r.target;
+  Status result = OkStatus();
+  if (r.target.type() == ObjType::kCollection) {
+    auto coll = Collection::Open(ctx_, r.target);
+    if (coll.ok()) {
+      st.is_dir = true;
+      st.size = coll->size();
+      st.link_count = coll->link_count();
+      st.acl = coll->acl();
+    } else {
+      result = coll.status();
+    }
+  } else {
+    auto mfile = MFile::Open(ctx_, r.target);
+    if (mfile.ok()) {
+      st.is_dir = false;
+      st.size = FileSize(r.target);
+      st.link_count = mfile->link_count();
+      st.acl = mfile->acl();
+      if (st.link_count == 0) {
+        // Batched create not yet applied: the overlay binding counts as the
+        // first link.
+        std::lock_guard lock(overlay_mu_);
+        auto it = overlay_.find(r.parent.raw());
+        if (it != overlay_.end()) {
+          auto added = it->second.added.find(r.leaf);
+          if (added != it->second.added.end() &&
+              added->second == r.target.raw()) {
+            st.link_count = 1;
+          }
+        }
+      }
+    } else {
+      result = mfile.status();
+    }
+  }
+  clerk->Release(r.target.lock_id());
+  if (!result.ok()) {
+    return result;
+  }
+  return st;
+}
+
+Result<std::vector<PxfsDirent>> Pxfs::ReadDir(std::string_view path) {
+  AERIE_ASSIGN_OR_RETURN(Resolved r, Resolve(path, /*fill_cache=*/true));
+  if (r.target.IsNull()) {
+    return Status(ErrorCode::kNotFound, std::string(path));
+  }
+  if (r.target.type() != ObjType::kCollection) {
+    return Status(ErrorCode::kNotDirectory, std::string(path));
+  }
+  LockClerk* clerk = fs_->clerk();
+  std::vector<LockId> chain = r.ancestors;
+  if (!(r.target == fs_->pxfs_root())) {
+    chain.push_back(r.parent.lock_id());
+  }
+  AERIE_RETURN_IF_ERROR(
+      clerk->Acquire(r.target.lock_id(), LockMode::kShared, chain));
+
+  std::map<std::string, uint64_t> names;
+  Status scan_status = OkStatus();
+  {
+    auto coll = Collection::Open(ctx_, r.target);
+    if (coll.ok()) {
+      scan_status = coll->Scan([&](std::string_view name, uint64_t value) {
+        names[std::string(name)] = value;
+        return true;
+      });
+    } else {
+      scan_status = coll.status();
+    }
+  }
+  clerk->Release(r.target.lock_id());
+  AERIE_RETURN_IF_ERROR(scan_status);
+
+  {
+    std::lock_guard lock(overlay_mu_);
+    auto it = overlay_.find(r.target.raw());
+    if (it != overlay_.end()) {
+      for (const auto& [name, oid] : it->second.added) {
+        names[name] = oid;
+      }
+      for (const auto& name : it->second.removed) {
+        names.erase(name);
+      }
+    }
+  }
+
+  std::vector<PxfsDirent> out;
+  out.reserve(names.size());
+  for (const auto& [name, raw] : names) {
+    Oid oid(raw);
+    out.push_back({name, oid, oid.type() == ObjType::kCollection});
+  }
+  return out;
+}
+
+Status Pxfs::Chmod(std::string_view path, uint32_t acl) {
+  AERIE_ASSIGN_OR_RETURN(Resolved r, Resolve(path, /*fill_cache=*/false));
+  if (r.target.IsNull()) {
+    return Status(ErrorCode::kNotFound, std::string(path));
+  }
+  LockClerk* clerk = fs_->clerk();
+  std::vector<LockId> chain = r.ancestors;
+  chain.push_back(r.parent.lock_id());
+  AERIE_RETURN_IF_ERROR(
+      clerk->Acquire(r.target.lock_id(), LockMode::kExclusive, chain));
+  MetaOp op;
+  op.type = MetaOpType::kSetAcl;
+  op.authority = clerk->GlobalAuthorityOf(r.target.lock_id());
+  op.obj = r.target;
+  op.a = acl;
+  Status st = fs_->LogOp(std::move(op));
+  if (st.ok()) {
+    // Permission changes apply synchronously (paper §6.1): the memory
+    // protection update must not linger in the batch.
+    st = fs_->Sync();
+  }
+  clerk->Release(r.target.lock_id());
+  return st;
+}
+
+Status Pxfs::Truncate(std::string_view path, uint64_t size) {
+  AERIE_ASSIGN_OR_RETURN(int fd, Open(path, kOpenWrite));
+  Status st = Ftruncate(fd, size);
+  Status close_st = Close(fd);
+  return st.ok() ? close_st : st;
+}
+
+Status Pxfs::SetCwd(std::string_view path) {
+  AERIE_ASSIGN_OR_RETURN(Resolved r, Resolve(path, /*fill_cache=*/false));
+  if (r.target.IsNull()) {
+    return Status(ErrorCode::kNotFound, std::string(path));
+  }
+  if (r.target.type() != ObjType::kCollection) {
+    return Status(ErrorCode::kNotDirectory, std::string(path));
+  }
+  std::lock_guard lock(cwd_mu_);
+  cwd_oid_ = r.target;
+  cwd_ancestors_ = r.ancestors;
+  if (!(r.target == r.parent)) {
+    cwd_ancestors_.push_back(r.parent.lock_id());
+  }
+  cwd_path_ = std::string(path);
+  return OkStatus();
+}
+
+std::string Pxfs::cwd() const {
+  std::lock_guard lock(cwd_mu_);
+  return cwd_path_;
+}
+
+Status Pxfs::SyncAll() {
+  ctx_.region->BFlush();
+  return fs_->Sync();
+}
+
+}  // namespace aerie

@@ -1,0 +1,230 @@
+#include "src/rpc/socket.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace aerie {
+
+namespace {
+
+Status WriteAll(int fd, const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status(ErrorCode::kUnavailable,
+                    std::string("write: ") + std::strerror(errno));
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+Status ReadAll(int fd, void* data, size_t len) {
+  char* p = static_cast<char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::read(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status(ErrorCode::kUnavailable,
+                    std::string("read: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status(ErrorCode::kUnavailable, "peer closed connection");
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+constexpr uint32_t kMaxFrame = 64u << 20;  // 64MB: bounds a malicious frame
+
+}  // namespace
+
+Result<std::unique_ptr<UdsServer>> UdsServer::Start(
+    const std::string& path, const RpcDispatcher* dispatcher) {
+  ::unlink(path.c_str());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status(ErrorCode::kUnavailable,
+                  std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return Status(ErrorCode::kInvalidArgument, "socket path too long");
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status(ErrorCode::kUnavailable,
+                  std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    return Status(ErrorCode::kUnavailable,
+                  std::string("listen: ") + std::strerror(errno));
+  }
+  auto server =
+      std::unique_ptr<UdsServer>(new UdsServer(path, fd, dispatcher));
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+UdsServer::~UdsServer() { Shutdown(); }
+
+void UdsServer::Shutdown() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard lock(mu_);
+    threads.swap(conn_threads_);
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  ::unlink(path_.c_str());
+}
+
+void UdsServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;  // listen socket closed
+    }
+    const uint64_t client_id = next_client_id_.fetch_add(1);
+    // Handshake: send the session id the server will know this client by.
+    if (!WriteAll(conn, &client_id, sizeof(client_id)).ok()) {
+      ::close(conn);
+      continue;
+    }
+    std::lock_guard lock(mu_);
+    conn_threads_.emplace_back(
+        [this, conn, client_id] { ServeConnection(conn, client_id); });
+  }
+}
+
+void UdsServer::ServeConnection(int fd, uint64_t client_id) {
+  std::string buf;
+  while (!stopping_.load()) {
+    uint32_t frame_len = 0;
+    if (!ReadAll(fd, &frame_len, sizeof(frame_len)).ok()) {
+      break;
+    }
+    if (frame_len < sizeof(uint32_t) || frame_len > kMaxFrame) {
+      break;
+    }
+    buf.resize(frame_len);
+    if (!ReadAll(fd, buf.data(), frame_len).ok()) {
+      break;
+    }
+    uint32_t method = 0;
+    std::memcpy(&method, buf.data(), sizeof(method));
+    std::string_view payload(buf.data() + sizeof(method),
+                             frame_len - sizeof(method));
+
+    auto result = dispatcher_->Dispatch(client_id, method, payload);
+    const uint8_t ok = result.ok() ? 1 : 0;
+    const std::string& body =
+        result.ok() ? result.value() : result.status().ToString();
+    // Error responses also carry the ErrorCode so the client can rebuild the
+    // exact Status.
+    std::string frame;
+    const uint32_t resp_len = static_cast<uint32_t>(
+        sizeof(uint8_t) + (result.ok() ? 0 : 1) + body.size());
+    frame.reserve(sizeof(resp_len) + resp_len);
+    frame.append(reinterpret_cast<const char*>(&resp_len), sizeof(resp_len));
+    frame.push_back(static_cast<char>(ok));
+    if (!result.ok()) {
+      frame.push_back(static_cast<char>(result.status().code()));
+    }
+    frame.append(body);
+    if (!WriteAll(fd, frame.data(), frame.size()).ok()) {
+      break;
+    }
+  }
+  ::close(fd);
+}
+
+Result<std::unique_ptr<UdsTransport>> UdsTransport::Connect(
+    const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status(ErrorCode::kUnavailable,
+                  std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return Status(ErrorCode::kInvalidArgument, "socket path too long");
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status(ErrorCode::kUnavailable,
+                  std::string("connect: ") + std::strerror(errno));
+  }
+  uint64_t client_id = 0;
+  AERIE_RETURN_IF_ERROR(ReadAll(fd, &client_id, sizeof(client_id)));
+  return std::unique_ptr<UdsTransport>(new UdsTransport(fd, client_id));
+}
+
+UdsTransport::~UdsTransport() { ::close(fd_); }
+
+Result<std::string> UdsTransport::Call(uint32_t method,
+                                       std::string_view request) {
+  std::lock_guard lock(mu_);
+  calls_.fetch_add(1, std::memory_order_relaxed);
+
+  const uint32_t frame_len =
+      static_cast<uint32_t>(sizeof(method) + request.size());
+  std::string frame;
+  frame.reserve(sizeof(frame_len) + frame_len);
+  frame.append(reinterpret_cast<const char*>(&frame_len), sizeof(frame_len));
+  frame.append(reinterpret_cast<const char*>(&method), sizeof(method));
+  frame.append(request);
+  AERIE_RETURN_IF_ERROR(WriteAll(fd_, frame.data(), frame.size()));
+
+  uint32_t resp_len = 0;
+  AERIE_RETURN_IF_ERROR(ReadAll(fd_, &resp_len, sizeof(resp_len)));
+  if (resp_len < 1 || resp_len > kMaxFrame) {
+    return Status(ErrorCode::kUnavailable, "bad response frame");
+  }
+  std::string body(resp_len, '\0');
+  AERIE_RETURN_IF_ERROR(ReadAll(fd_, body.data(), resp_len));
+  const uint8_t ok = static_cast<uint8_t>(body[0]);
+  if (ok) {
+    return body.substr(1);
+  }
+  if (resp_len < 2) {
+    return Status(ErrorCode::kUnavailable, "malformed error response");
+  }
+  return Status(static_cast<ErrorCode>(body[1]), body.substr(2));
+}
+
+}  // namespace aerie

@@ -1,0 +1,85 @@
+// Unix-domain-socket RPC: the analogue of the paper's loopback-socket RPC.
+//
+// Frame format (all little-endian):
+//   request:  u32 frame_len | u32 method | payload
+//   response: u32 frame_len | u8 ok      | payload-or-error-message
+//
+// The server runs one accept thread plus one thread per connection (the
+// paper's TFS "is multithreaded and can handle multiple RPC requests
+// concurrently"). Each connection is a client session with a server-assigned
+// id, so handlers can trust client identity.
+#ifndef AERIE_SRC_RPC_SOCKET_H_
+#define AERIE_SRC_RPC_SOCKET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/rpc/transport.h"
+
+namespace aerie {
+
+class UdsServer {
+ public:
+  // Binds and starts serving `dispatcher` on `path` (unlinked first).
+  static Result<std::unique_ptr<UdsServer>> Start(
+      const std::string& path, const RpcDispatcher* dispatcher);
+
+  ~UdsServer();
+  UdsServer(const UdsServer&) = delete;
+  UdsServer& operator=(const UdsServer&) = delete;
+
+  const std::string& path() const { return path_; }
+  uint64_t connections_accepted() const { return next_client_id_ - 1; }
+
+  void Shutdown();
+
+ private:
+  UdsServer(std::string path, int listen_fd, const RpcDispatcher* dispatcher)
+      : path_(std::move(path)), listen_fd_(listen_fd), dispatcher_(dispatcher) {}
+
+  void AcceptLoop();
+  void ServeConnection(int fd, uint64_t client_id);
+
+  std::string path_;
+  int listen_fd_;
+  const RpcDispatcher* dispatcher_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> next_client_id_{1};
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::vector<std::thread> conn_threads_;
+};
+
+class UdsTransport final : public Transport {
+ public:
+  // Connects to a UdsServer. The server assigns the session id, which is
+  // returned to the client in the connection handshake.
+  static Result<std::unique_ptr<UdsTransport>> Connect(
+      const std::string& path);
+
+  ~UdsTransport() override;
+
+  Result<std::string> Call(uint32_t method, std::string_view request) override;
+  uint64_t client_id() const override { return client_id_; }
+  uint64_t calls_made() const override {
+    return calls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  UdsTransport(int fd, uint64_t client_id) : fd_(fd), client_id_(client_id) {}
+
+  int fd_;
+  uint64_t client_id_;
+  std::mutex mu_;  // one outstanding call at a time per transport
+  std::atomic<uint64_t> calls_{0};
+};
+
+}  // namespace aerie
+
+#endif  // AERIE_SRC_RPC_SOCKET_H_

@@ -1,0 +1,77 @@
+// RPC transport abstraction (paper §5.1: RPC over loopback sockets).
+//
+// Clients reach the trusted service through a Transport. Two implementations:
+//   * InprocTransport — direct dispatch with a configurable simulated
+//     round-trip delay; deterministic, used by unit tests and (with a
+//     calibrated delay) by benchmarks.
+//   * UdsTransport/UdsServer — real Unix-domain stream sockets with a
+//     multithreaded server, the analogue of the paper's loopback TCP.
+//
+// Server→client revocation callbacks are delivered as direct in-address-space
+// upcalls (see lock/clerk.h); in the paper they are RPCs on a second channel,
+// but they are off every common path, so only the client→server direction is
+// cost-modeled.
+#ifndef AERIE_SRC_RPC_TRANSPORT_H_
+#define AERIE_SRC_RPC_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace aerie {
+
+// Server-side method registry. client_id identifies the calling client
+// session (assigned at connect time; clients cannot forge each other's ids
+// because the id is bound to the connection, not the message).
+class RpcDispatcher {
+ public:
+  using Handler = std::function<Result<std::string>(uint64_t client_id,
+                                                    std::string_view request)>;
+
+  void Register(uint32_t method, Handler handler) {
+    std::lock_guard lock(mu_);
+    handlers_[method] = std::move(handler);
+  }
+
+  Result<std::string> Dispatch(uint64_t client_id, uint32_t method,
+                               std::string_view request) const {
+    Handler handler;
+    {
+      std::lock_guard lock(mu_);
+      auto it = handlers_.find(method);
+      if (it == handlers_.end()) {
+        return Status(ErrorCode::kNotSupported, "unknown RPC method");
+      }
+      handler = it->second;
+    }
+    return handler(client_id, request);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<uint32_t, Handler> handlers_;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Sends `request` for `method`; blocks until the response arrives.
+  virtual Result<std::string> Call(uint32_t method,
+                                   std::string_view request) = 0;
+
+  // The session id the server knows this client by.
+  virtual uint64_t client_id() const = 0;
+
+  // Round trips completed (for tests asserting batching keeps RPC rare).
+  virtual uint64_t calls_made() const = 0;
+};
+
+}  // namespace aerie
+
+#endif  // AERIE_SRC_RPC_TRANSPORT_H_

@@ -1,0 +1,100 @@
+// Wire-format serialization for RPC messages and metadata-op logs.
+//
+// Little-endian, length-prefixed, bounds-checked. Both the RPC layer and the
+// libFS batching log (whose entries the TFS must treat as untrusted input)
+// use these helpers, so every Read* validates against the buffer bounds.
+#ifndef AERIE_SRC_RPC_WIRE_H_
+#define AERIE_SRC_RPC_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace aerie {
+
+// Append-only message builder.
+class WireBuffer {
+ public:
+  void AppendU8(uint8_t v) { AppendRaw(&v, 1); }
+  void AppendU16(uint16_t v) { AppendRaw(&v, 2); }
+  void AppendU32(uint32_t v) { AppendRaw(&v, 4); }
+  void AppendU64(uint64_t v) { AppendRaw(&v, 8); }
+  void AppendI64(int64_t v) { AppendU64(static_cast<uint64_t>(v)); }
+
+  // Length-prefixed byte string (u32 length).
+  void AppendString(std::string_view s) {
+    AppendU32(static_cast<uint32_t>(s.size()));
+    AppendRaw(s.data(), s.size());
+  }
+  void AppendBytes(std::span<const char> b) {
+    AppendString(std::string_view(b.data(), b.size()));
+  }
+
+  const std::string& data() const { return data_; }
+  std::string Release() { return std::move(data_); }
+  size_t size() const { return data_.size(); }
+  void Clear() { data_.clear(); }
+
+ private:
+  void AppendRaw(const void* p, size_t n) {
+    data_.append(static_cast<const char*>(p), n);
+  }
+  std::string data_;
+};
+
+// Bounds-checked reader over a received message.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> ReadU8() { return ReadScalar<uint8_t>(); }
+  Result<uint16_t> ReadU16() { return ReadScalar<uint16_t>(); }
+  Result<uint32_t> ReadU32() { return ReadScalar<uint32_t>(); }
+  Result<uint64_t> ReadU64() { return ReadScalar<uint64_t>(); }
+  Result<int64_t> ReadI64() {
+    auto v = ReadU64();
+    if (!v.ok()) {
+      return v.status();
+    }
+    return static_cast<int64_t>(*v);
+  }
+
+  Result<std::string_view> ReadString() {
+    auto len = ReadU32();
+    if (!len.ok()) {
+      return len.status();
+    }
+    if (pos_ + *len > data_.size()) {
+      return Status(ErrorCode::kInvalidArgument, "string exceeds buffer");
+    }
+    std::string_view out = data_.substr(pos_, *len);
+    pos_ += *len;
+    return out;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  template <typename T>
+  Result<T> ReadScalar() {
+    if (pos_ + sizeof(T) > data_.size()) {
+      return Status(ErrorCode::kInvalidArgument, "message too short");
+    }
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace aerie
+
+#endif  // AERIE_SRC_RPC_WIRE_H_

@@ -1,0 +1,165 @@
+// The SCM manager (paper §5.2): the kernel's only role in Aerie.
+//
+// Responsibilities, mirrored here in user space:
+//   * Allocation  — first-fit allocation of large static partitions, with a
+//     persistent partition table stored in SCM.
+//   * Mapping     — a linear mapping of the whole region at one base address;
+//     "mounting" a partition is O(1) and page tables are faulted lazily. We
+//     emulate the per-process page table as a soft structure so protection
+//     changes can invalidate mappings and we can count faults.
+//   * Protection  — extents (page-aligned ranges) carry a 32-bit ACL: a
+//     30-bit group id in the high bits and 2 rights bits (read=1, write=2).
+//     A process context holds the user's group memberships; on a soft fault
+//     the manager checks the extent's GID against that set, exactly like the
+//     paper's hash-table lookup on a hardware fault.
+//
+// Extent records are persistent (stored in a table in SCM with 64-bit-atomic
+// commit words); the lookup index is volatile and rebuilt on mount.
+#ifndef AERIE_SRC_SCM_MANAGER_H_
+#define AERIE_SRC_SCM_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/scm/pmem.h"
+
+namespace aerie {
+
+// ACL encoding (paper §5.2): 30-bit group id + 2 rights bits.
+inline constexpr uint32_t kAclRightRead = 0x1;
+inline constexpr uint32_t kAclRightWrite = 0x2;
+
+constexpr uint32_t MakeAcl(uint32_t gid, uint32_t rights) {
+  return (gid << 2) | (rights & 0x3);
+}
+constexpr uint32_t AclGid(uint32_t acl) { return acl >> 2; }
+constexpr uint32_t AclRights(uint32_t acl) { return acl & 0x3; }
+
+// A user's credentials as seen by the SCM manager: the set of group ids the
+// process belongs to (paper: "each process inherits and maintains the user's
+// group memberships in a hash table").
+class ProcessContext {
+ public:
+  explicit ProcessContext(std::vector<uint32_t> gids = {0});
+
+  bool HasGid(uint32_t gid) const { return gids_.count(gid) != 0; }
+
+  uint64_t soft_faults() const { return soft_faults_; }
+
+  // Test/bench hook: pages currently mapped into this context's soft page
+  // table (populated by ScmManager::TouchRange).
+  bool IsMapped(uint64_t page) const { return mapped_pages_.count(page) != 0; }
+
+ private:
+  friend class ScmManager;
+  std::unordered_set<uint32_t> gids_;
+  std::unordered_set<uint64_t> mapped_pages_;
+  uint64_t soft_faults_ = 0;
+  mutable std::mutex mu_;
+};
+
+struct PartitionInfo {
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  uint32_t acl = 0;
+};
+
+struct ExtentInfo {
+  uint64_t start = 0;   // byte offset in region, page aligned
+  uint64_t length = 0;  // bytes, page multiple
+  uint32_t acl = 0;
+};
+
+class ScmManager {
+ public:
+  struct Options {
+    uint32_t max_partitions = 16;
+    uint32_t max_extents = 1 << 16;
+    // When true, protection changes also issue a real mprotect() so the
+    // permission-change microbenchmark measures genuine page-table cost.
+    bool hard_protect = false;
+  };
+
+  // Initializes a fresh region (destroys existing contents).
+  static Result<std::unique_ptr<ScmManager>> Format(ScmRegion* region,
+                                                    const Options& options);
+  // Mounts a previously formatted region, rebuilding volatile indexes.
+  static Result<std::unique_ptr<ScmManager>> Mount(ScmRegion* region);
+
+  ScmRegion* region() const { return region_; }
+
+  // First byte usable by partitions (after the manager's own tables).
+  uint64_t data_start() const { return data_start_; }
+
+  // --- Allocation (scm_create_partition) ---
+  Result<PartitionInfo> AllocatePartition(uint64_t size, uint32_t acl);
+  std::vector<PartitionInfo> ListPartitions() const;
+
+  // --- Mapping (scm_mount_partition) ---
+  // Linear mapping: returns the base pointer for the partition. Page tables
+  // are populated lazily via TouchRange.
+  Result<char*> MountPartition(ProcessContext* ctx, uint64_t partition_offset);
+
+  // Simulates the page faults incurred by touching [offset, offset+len):
+  // each unmapped page triggers an access check against the covering extent.
+  Status TouchRange(ProcessContext* ctx, uint64_t offset, uint64_t len,
+                    uint32_t rights);
+
+  // --- Protection ---
+  // scm_create_extent: registers a protection extent. Fails if it overlaps
+  // an existing extent.
+  Status CreateExtent(uint64_t start, uint64_t length, uint32_t acl);
+  // scm_mprotect_extent: changes the ACL and invalidates affected soft
+  // page-table entries in every registered context (lazy refault).
+  Status MprotectExtent(uint64_t start, uint32_t new_acl);
+  // Removes an extent record (storage freed by the TFS allocator).
+  Status DestroyExtent(uint64_t start);
+
+  // Pure software access check against the extent table (no fault recorded).
+  Status CheckAccess(const ProcessContext& ctx, uint64_t offset, uint64_t len,
+                     uint32_t rights) const;
+
+  Result<ExtentInfo> FindExtent(uint64_t offset) const;
+  size_t extent_count() const;
+
+  // Contexts register so protection changes can shoot down their mappings
+  // (the analogue of a TLB shootdown + page-table invalidation).
+  void RegisterContext(ProcessContext* ctx);
+  void UnregisterContext(ProcessContext* ctx);
+
+  uint64_t pages_invalidated() const { return pages_invalidated_; }
+
+ private:
+  ScmManager(ScmRegion* region, const Options& options)
+      : region_(region), options_(options) {}
+
+  Status LoadFromRegion();
+  void PersistPartitionEntry(uint32_t index);
+
+  struct ExtentSlotRef {
+    uint32_t slot;
+    ExtentInfo info;
+  };
+
+  ScmRegion* region_;
+  Options options_;
+  uint64_t data_start_ = 0;
+
+  mutable std::shared_mutex mu_;
+  std::vector<PartitionInfo> partitions_;
+  // start offset -> (slot in persistent table, info)
+  std::map<uint64_t, ExtentSlotRef> extents_;
+  std::vector<uint32_t> free_slots_;
+  std::vector<ProcessContext*> contexts_;
+  uint64_t pages_invalidated_ = 0;
+};
+
+}  // namespace aerie
+
+#endif  // AERIE_SRC_SCM_MANAGER_H_

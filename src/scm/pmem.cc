@@ -1,0 +1,131 @@
+#include "src/scm/pmem.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/clock.h"
+
+namespace aerie {
+
+namespace {
+
+uint64_t LinesCovering(const void* addr, size_t len) {
+  const auto start = reinterpret_cast<uintptr_t>(addr) & ~(kCacheLineSize - 1);
+  const auto end = reinterpret_cast<uintptr_t>(addr) + len;
+  return (end - start + kCacheLineSize - 1) / kCacheLineSize;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ScmRegion>> ScmRegion::CreateAnonymous(size_t size) {
+  void* mem = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) {
+    return Status(ErrorCode::kOutOfSpace,
+                  std::string("mmap failed: ") + std::strerror(errno));
+  }
+  // Pre-fault the whole mapping: real SCM is present memory, so benchmarks
+  // must not observe first-touch page-fault costs on the data path.
+  std::memset(mem, 0, size);
+  return std::unique_ptr<ScmRegion>(
+      new ScmRegion(static_cast<char*>(mem), size, -1, ""));
+}
+
+Result<std::unique_ptr<ScmRegion>> ScmRegion::OpenFileBacked(
+    const std::string& path, size_t size) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status(ErrorCode::kIoError,
+                  std::string("open failed: ") + std::strerror(errno));
+  }
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    ::close(fd);
+    return Status(ErrorCode::kIoError,
+                  std::string("ftruncate failed: ") + std::strerror(errno));
+  }
+  void* mem =
+      ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (mem == MAP_FAILED) {
+    ::close(fd);
+    return Status(ErrorCode::kOutOfSpace,
+                  std::string("mmap failed: ") + std::strerror(errno));
+  }
+  return std::unique_ptr<ScmRegion>(
+      new ScmRegion(static_cast<char*>(mem), size, fd, path));
+}
+
+ScmRegion::~ScmRegion() {
+  ::munmap(base_, size_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+void ScmRegion::ChargeLines(uint64_t lines) {
+  stats_.lines_flushed.fetch_add(lines, std::memory_order_relaxed);
+  const uint64_t ns = latency_.write_ns();
+  if (ns != 0) {
+    SpinDelayNanos(ns * lines);
+  }
+}
+
+void ScmRegion::WlFlush(const void* addr, size_t len) {
+  const uint64_t lines = LinesCovering(addr, len);
+#if defined(__x86_64__)
+  auto p = reinterpret_cast<uintptr_t>(addr) & ~(kCacheLineSize - 1);
+  const auto end = reinterpret_cast<uintptr_t>(addr) + len;
+  for (; p < end; p += kCacheLineSize) {
+    __builtin_ia32_clflush(reinterpret_cast<const void*>(p));
+  }
+#else
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+  ChargeLines(lines);
+}
+
+void ScmRegion::Fence() {
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  stats_.fences.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ScmRegion::StreamWrite(void* dst, const void* src, size_t len) {
+  // A portable stand-in for MOVNT streaming stores: a plain copy, with the
+  // persistence cost deferred to BFlush() exactly as WC buffering defers it.
+  std::memcpy(dst, src, len);
+  stats_.bytes_streamed.fetch_add(len, std::memory_order_relaxed);
+  pending_wc_lines_.fetch_add(LinesCovering(dst, len),
+                              std::memory_order_relaxed);
+}
+
+void ScmRegion::BFlush() {
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  stats_.wc_drains.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t lines = pending_wc_lines_.exchange(0);
+  ChargeLines(lines);
+}
+
+Status ScmRegion::HardProtect(uint64_t offset, size_t len, int rights) {
+  if (offset % kScmPageSize != 0 || len % kScmPageSize != 0 ||
+      offset + len > size_) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "HardProtect requires page-aligned range inside region");
+  }
+  int prot = PROT_NONE;
+  if (rights & 1) {
+    prot |= PROT_READ;
+  }
+  if (rights & 2) {
+    prot |= PROT_READ | PROT_WRITE;
+  }
+  if (::mprotect(base_ + offset, len, prot) != 0) {
+    return Status(ErrorCode::kIoError,
+                  std::string("mprotect failed: ") + std::strerror(errno));
+  }
+  return OkStatus();
+}
+
+}  // namespace aerie

@@ -1,0 +1,141 @@
+// Storage-class-memory emulation (paper §2, §5.1, §7.1, §7.4).
+//
+// The paper emulates SCM with DRAM and models slow SCM by injecting
+// software-created delays at the points where software persists data (clflush
+// / write-combining flush). ScmRegion reproduces that mechanism:
+//
+//  * the region is an mmap'ed range of DRAM (anonymous, or file-backed so a
+//    "machine crash + reboot" can be simulated by reopening the file);
+//  * persistence primitives mirror Mnemosyne's (paper §5.1):
+//      - WlFlush  : write + flush a cache line     (x86 clflush)
+//      - BFlush   : drain write-combining buffers   (x86 mfence after NT store)
+//      - Fence    : order writes to SCM             (x86 mfence)
+//      - StreamWrite : non-temporal streaming copy into the log
+//  * a latency model charges a configurable delay per persisted cache line,
+//    which is how Figure 6's sensitivity study is produced.
+//
+// The memory controller is assumed to make aligned 64-bit stores atomic
+// (paper assumption, from BPFS), which the consistency protocols rely on.
+#ifndef AERIE_SRC_SCM_PMEM_H_
+#define AERIE_SRC_SCM_PMEM_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace aerie {
+
+inline constexpr size_t kCacheLineSize = 64;
+inline constexpr size_t kScmPageSize = 4096;
+
+// Latency injected at persistence points. All values in nanoseconds; a value
+// of zero means "raw DRAM speed" (the paper's default configuration).
+struct ScmLatencyModel {
+  // Extra delay charged per cache line made persistent (clflush or WC drain).
+  std::atomic<uint64_t> write_ns_per_line{0};
+
+  void set_write_ns(uint64_t ns) {
+    write_ns_per_line.store(ns, std::memory_order_relaxed);
+  }
+  uint64_t write_ns() const {
+    return write_ns_per_line.load(std::memory_order_relaxed);
+  }
+};
+
+// Counters for persistence traffic; useful in tests and for reasoning about
+// benchmark results.
+struct ScmStats {
+  std::atomic<uint64_t> lines_flushed{0};
+  std::atomic<uint64_t> fences{0};
+  std::atomic<uint64_t> bytes_streamed{0};
+  std::atomic<uint64_t> wc_drains{0};
+};
+
+// A contiguous range of emulated SCM mapped into the process.
+//
+// All persistent data structures store offsets (not raw pointers) so the
+// region remains valid if the host maps it at a different virtual address
+// after a simulated reboot.
+class ScmRegion {
+ public:
+  // Creates an anonymous (non-reopenable) region of `size` bytes.
+  static Result<std::unique_ptr<ScmRegion>> CreateAnonymous(size_t size);
+
+  // Creates or opens a file-backed region; reopening the same path after a
+  // simulated crash observes exactly the bytes that reached "SCM".
+  static Result<std::unique_ptr<ScmRegion>> OpenFileBacked(
+      const std::string& path, size_t size);
+
+  ~ScmRegion();
+
+  ScmRegion(const ScmRegion&) = delete;
+  ScmRegion& operator=(const ScmRegion&) = delete;
+
+  char* base() const { return base_; }
+  size_t size() const { return size_; }
+
+  // Offset <-> pointer translation. Offsets are the persistent addressing
+  // form (the paper stores virtual addresses but maps SCM at the same address
+  // everywhere; offsets are the relocation-safe equivalent).
+  char* PtrAt(uint64_t offset) const { return base_ + offset; }
+  uint64_t OffsetOf(const void* ptr) const {
+    return static_cast<uint64_t>(static_cast<const char*>(ptr) - base_);
+  }
+  bool Contains(const void* ptr) const {
+    return ptr >= base_ && ptr < base_ + size_;
+  }
+
+  // --- Persistence primitives (Mnemosyne-style, paper §5.1) ---
+
+  // Flushes the cache lines covering [addr, addr+len) to SCM.
+  void WlFlush(const void* addr, size_t len);
+
+  // Orders subsequent SCM writes after preceding ones.
+  void Fence();
+
+  // Streams `len` bytes to dst via write-combining (non-temporal) stores.
+  // Data is *not* persistent until BFlush().
+  void StreamWrite(void* dst, const void* src, size_t len);
+
+  // Drains write-combining buffers: everything streamed so far is persistent.
+  void BFlush();
+
+  // Convenience: store + WlFlush of a 64-bit value (the atomic-commit write
+  // used by shadow updates).
+  void PersistU64(uint64_t* dst, uint64_t value) {
+    reinterpret_cast<std::atomic<uint64_t>*>(dst)->store(
+        value, std::memory_order_release);
+    WlFlush(dst, sizeof(uint64_t));
+    Fence();
+  }
+
+  ScmLatencyModel& latency_model() { return latency_; }
+  ScmStats& stats() { return stats_; }
+
+  // Real mprotect() on a sub-range, for the permission-change benchmark.
+  // Rights bitmask: 1 = read, 2 = write.
+  Status HardProtect(uint64_t offset, size_t len, int rights);
+
+ private:
+  ScmRegion(char* base, size_t size, int fd, std::string path)
+      : base_(base), size_(size), fd_(fd), path_(std::move(path)) {}
+
+  void ChargeLines(uint64_t lines);
+
+  char* base_;
+  size_t size_;
+  int fd_;  // -1 for anonymous regions
+  std::string path_;
+  ScmLatencyModel latency_;
+  ScmStats stats_;
+  // Cache lines streamed since the last BFlush (approximates WC occupancy).
+  std::atomic<uint64_t> pending_wc_lines_{0};
+};
+
+}  // namespace aerie
+
+#endif  // AERIE_SRC_SCM_PMEM_H_

@@ -1,0 +1,73 @@
+// Persistent redo log (paper §5.1, §5.3.6).
+//
+// The TFS write-ahead-logs every batch of metadata updates before applying it
+// in place: append records with streaming (write-combining) stores, make them
+// persistent with a single BFlush + Fence, publish with one atomic 64-bit
+// commit-pointer update, then apply the updates with WlFlush. After a crash,
+// Replay() re-delivers every committed record; records must be idempotent
+// (the TFS's logical ops are).
+//
+// The log is a linear buffer truncated after each checkpoint (the TFS applies
+// and truncates batch-by-batch, so the log never needs to wrap).
+#ifndef AERIE_SRC_TXLOG_REDO_LOG_H_
+#define AERIE_SRC_TXLOG_REDO_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/scm/pmem.h"
+
+namespace aerie {
+
+class RedoLog {
+ public:
+  // Record delivered on replay: a type tag and its payload bytes.
+  using ReplayFn =
+      std::function<Status(uint32_t type, std::span<const char> payload)>;
+
+  // Formats a fresh log over [offset, offset+size) of `region`.
+  static Result<RedoLog> Format(ScmRegion* region, uint64_t offset,
+                                uint64_t size);
+  // Opens an existing log (after a crash or clean shutdown).
+  static Result<RedoLog> Open(ScmRegion* region, uint64_t offset);
+
+  // Appends a record; it is NOT persistent until Commit(). Returns
+  // kOutOfSpace when the record area is full (caller should apply+truncate).
+  Status Append(uint32_t type, std::span<const char> payload);
+
+  // Makes all appended records persistent and visible to Replay.
+  Status Commit();
+
+  // Delivers every committed record in order.
+  Status Replay(const ReplayFn& fn) const;
+
+  // Discards all committed records (after their effects are flushed).
+  void Truncate();
+
+  // Discards records appended since the last Commit (failed batch append).
+  void Rollback() { volatile_tail_ = committed_bytes(); }
+
+  // Committed bytes currently in the log.
+  uint64_t committed_bytes() const;
+  // Bytes appended but not yet committed.
+  uint64_t pending_bytes() const { return volatile_tail_ - committed_bytes(); }
+  uint64_t capacity() const { return capacity_; }
+
+ private:
+  RedoLog(ScmRegion* region, uint64_t offset, uint64_t capacity)
+      : region_(region), offset_(offset), capacity_(capacity) {}
+
+  char* RecordArea() const;
+
+  ScmRegion* region_;
+  uint64_t offset_;    // region offset of the log header
+  uint64_t capacity_;  // bytes in the record area
+  uint64_t volatile_tail_ = 0;  // append cursor (committed + pending)
+};
+
+}  // namespace aerie
+
+#endif  // AERIE_SRC_TXLOG_REDO_LOG_H_

@@ -1,0 +1,388 @@
+#include "src/workload/filebench.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/clock.h"
+
+namespace aerie {
+
+namespace {
+
+// Times one FS call and records its latency.
+template <typename Fn>
+Status Timed(Histogram* ops, Fn&& fn) {
+  const uint64_t start = NowNanos();
+  Status st = fn();
+  ops->Record(NowNanos() - start);
+  return st;
+}
+
+}  // namespace
+
+std::string_view FilebenchKindName(FilebenchKind kind) {
+  switch (kind) {
+    case FilebenchKind::kFileserver:
+      return "Fileserver";
+    case FilebenchKind::kWebserver:
+      return "Webserver";
+    case FilebenchKind::kWebproxy:
+      return "Webproxy";
+  }
+  return "?";
+}
+
+FilebenchProfile FilebenchProfile::Paper(FilebenchKind kind, double scale) {
+  FilebenchProfile p;
+  p.kind = kind;
+  switch (kind) {
+    case FilebenchKind::kFileserver:
+      p.nfiles = static_cast<uint64_t>(10000 * scale);
+      p.dir_width = 20;
+      p.mean_file_size = 128 << 10;
+      break;
+    case FilebenchKind::kWebserver:
+      p.nfiles = static_cast<uint64_t>(10000 * scale);
+      p.dir_width = 20;
+      p.mean_file_size = 16 << 10;
+      break;
+    case FilebenchKind::kWebproxy:
+      p.nfiles = static_cast<uint64_t>(1000 * scale);
+      p.dir_width = 1500;
+      p.mean_file_size = 16 << 10;
+      break;
+  }
+  p.nfiles = std::max<uint64_t>(p.nfiles, 64);
+  p.io_size = 1 << 20;
+  p.append_size = 16 << 10;
+  return p;
+}
+
+FilebenchRunner::FilebenchRunner(FsInterface* fs,
+                                 const FilebenchProfile& profile,
+                                 std::string root_dir, uint64_t seed,
+                                 uint64_t instance)
+    : fs_(fs),
+      profile_(profile),
+      root_(std::move(root_dir)),
+      instance_(instance),
+      rng_(seed) {
+  io_buffer_.assign(profile_.io_size, 'w');
+  read_buffer_.assign(profile_.io_size, '\0');
+}
+
+uint64_t FilebenchRunner::SampleFileSize() {
+  // FileBench sizes are gamma-distributed around the mean; an exponential
+  // clamped to [1KB, 4*mean] keeps the same spirit deterministically.
+  const double u = std::max(1e-9, rng_.NextDouble());
+  const double sampled =
+      -static_cast<double>(profile_.mean_file_size) * std::log(u);
+  return std::clamp<uint64_t>(static_cast<uint64_t>(sampled), 1024,
+                              4 * profile_.mean_file_size);
+}
+
+std::string FilebenchRunner::PathOf(uint64_t file_id) const {
+  const uint64_t dir = file_id % dirs_.size();
+  return dirs_[dir] + "/f" + std::to_string(instance_) + "_" +
+         std::to_string(file_id);
+}
+
+std::string FilebenchRunner::FreshPath() {
+  const uint64_t dir = fresh_counter_ % dirs_.size();
+  return dirs_[dir] + "/n" + std::to_string(instance_) + "_" +
+         std::to_string(fresh_counter_++);
+}
+
+Result<std::string> FilebenchRunner::PickLive() {
+  if (live_files_.empty()) {
+    return Status(ErrorCode::kNotFound, "fileset empty");
+  }
+  return live_files_[rng_.Uniform(live_files_.size())];
+}
+
+Status FilebenchRunner::Prepare() {
+  Status st = fs_->Mkdir(root_);
+  if (!st.ok() && st.code() != ErrorCode::kAlreadyExists) {
+    return st;  // concurrent instances share the tree
+  }
+  // Build a directory *tree* with the profile's mean width (FileBench lays
+  // filesets out hierarchically; path depth is what makes naming costs and
+  // the name cache matter, paper §7.3.1).
+  const uint64_t leaves =
+      std::max<uint64_t>(1, profile_.nfiles / profile_.dir_width);
+  std::vector<std::string> level = {root_};
+  while (level.size() < leaves) {
+    const uint64_t target =
+        std::min<uint64_t>(level.size() * profile_.dir_width, leaves);
+    std::vector<std::string> next;
+    next.reserve(target);
+    for (uint64_t i = 0; i < target; ++i) {
+      const std::string child =
+          level[i % level.size()] + "/d" + std::to_string(i);
+      st = fs_->Mkdir(child);
+      if (!st.ok() && st.code() != ErrorCode::kAlreadyExists) {
+        return st;
+      }
+      next.push_back(child);
+    }
+    level = std::move(next);
+  }
+  dirs_ = std::move(level);
+  live_files_.reserve(profile_.nfiles);
+  for (uint64_t f = 0; f < profile_.nfiles; ++f) {
+    const std::string path = PathOf(f);
+    AERIE_ASSIGN_OR_RETURN(int fd,
+                           fs_->Open(path, kOpenCreate | kOpenWrite));
+    uint64_t remaining = SampleFileSize();
+    while (remaining > 0) {
+      const uint64_t chunk = std::min<uint64_t>(remaining, profile_.io_size);
+      AERIE_RETURN_IF_ERROR(
+          fs_->Write(fd, std::span<const char>(io_buffer_.data(), chunk))
+              .status());
+      remaining -= chunk;
+    }
+    AERIE_RETURN_IF_ERROR(fs_->Close(fd));
+    live_files_.push_back(path);
+  }
+  log_path_ = root_ + "/logfile" + std::to_string(instance_);
+  AERIE_RETURN_IF_ERROR(fs_->Create(log_path_));
+  return fs_->Sync();
+}
+
+Status FilebenchRunner::CreateWriteClose(const std::string& path,
+                                         uint64_t bytes, Histogram* ops) {
+  int fd = -1;
+  AERIE_RETURN_IF_ERROR(Timed(ops, [&] {
+    auto opened = fs_->Open(path, kOpenCreate | kOpenWrite | kOpenTrunc);
+    if (!opened.ok()) {
+      return opened.status();
+    }
+    fd = *opened;
+    return OkStatus();
+  }));
+  uint64_t remaining = bytes;
+  while (remaining > 0) {
+    const uint64_t chunk = std::min<uint64_t>(remaining, profile_.io_size);
+    AERIE_RETURN_IF_ERROR(Timed(ops, [&] {
+      return fs_->Write(fd, std::span<const char>(io_buffer_.data(), chunk))
+          .status();
+    }));
+    remaining -= chunk;
+  }
+  return Timed(ops, [&] { return fs_->Close(fd); });
+}
+
+Status FilebenchRunner::OpenReadClose(const std::string& path,
+                                      Histogram* ops) {
+  int fd = -1;
+  Status open_status = Timed(ops, [&] {
+    auto opened = fs_->Open(path, kOpenRead);
+    if (!opened.ok()) {
+      return opened.status();
+    }
+    fd = *opened;
+    return OkStatus();
+  });
+  if (!open_status.ok()) {
+    return open_status;
+  }
+  for (;;) {
+    uint64_t n = 0;
+    AERIE_RETURN_IF_ERROR(Timed(ops, [&] {
+      auto got = fs_->Read(
+          fd, std::span<char>(read_buffer_.data(), profile_.io_size));
+      if (!got.ok()) {
+        return got.status();
+      }
+      n = *got;
+      return OkStatus();
+    }));
+    if (n < profile_.io_size) {
+      break;
+    }
+  }
+  return Timed(ops, [&] { return fs_->Close(fd); });
+}
+
+Status FilebenchRunner::AppendTo(const std::string& path, uint64_t bytes,
+                                 Histogram* ops) {
+  int fd = -1;
+  AERIE_RETURN_IF_ERROR(Timed(ops, [&] {
+    auto opened = fs_->Open(path, kOpenWrite | kOpenAppend);
+    if (!opened.ok()) {
+      return opened.status();
+    }
+    fd = *opened;
+    return OkStatus();
+  }));
+  AERIE_RETURN_IF_ERROR(Timed(ops, [&] {
+    return fs_->Write(fd, std::span<const char>(io_buffer_.data(), bytes))
+        .status();
+  }));
+  return Timed(ops, [&] { return fs_->Close(fd); });
+}
+
+Status FilebenchRunner::OpFileserver(Histogram* ops) {
+  // createfile/writewholefile/close, open/appendrand/close,
+  // open/readwholefile/close, deletefile, statfile.
+  const std::string fresh = FreshPath();
+  AERIE_RETURN_IF_ERROR(CreateWriteClose(fresh, SampleFileSize(), ops));
+  live_files_.push_back(fresh);
+
+  AERIE_ASSIGN_OR_RETURN(std::string append_victim, PickLive());
+  AERIE_RETURN_IF_ERROR(AppendTo(append_victim, profile_.append_size, ops));
+
+  AERIE_ASSIGN_OR_RETURN(std::string read_victim, PickLive());
+  AERIE_RETURN_IF_ERROR(OpenReadClose(read_victim, ops));
+
+  const uint64_t delete_index = rng_.Uniform(live_files_.size());
+  const std::string delete_victim = live_files_[delete_index];
+  live_files_[delete_index] = live_files_.back();
+  live_files_.pop_back();
+  AERIE_RETURN_IF_ERROR(
+      Timed(ops, [&] { return fs_->Unlink(delete_victim); }));
+
+  AERIE_ASSIGN_OR_RETURN(std::string stat_victim, PickLive());
+  return Timed(ops,
+               [&] { return fs_->StatSize(stat_victim).status(); });
+}
+
+Status FilebenchRunner::OpWebserver(Histogram* ops) {
+  for (int i = 0; i < 10; ++i) {
+    AERIE_ASSIGN_OR_RETURN(std::string victim, PickLive());
+    AERIE_RETURN_IF_ERROR(OpenReadClose(victim, ops));
+  }
+  return AppendTo(log_path_, profile_.append_size, ops);
+}
+
+Status FilebenchRunner::OpWebproxy(Histogram* ops) {
+  // delete + create-write-close + 5x open-read-close + log append.
+  const uint64_t delete_index = rng_.Uniform(live_files_.size());
+  const std::string delete_victim = live_files_[delete_index];
+  AERIE_RETURN_IF_ERROR(
+      Timed(ops, [&] { return fs_->Unlink(delete_victim); }));
+  live_files_[delete_index] = live_files_.back();
+  live_files_.pop_back();
+
+  const std::string fresh = FreshPath();
+  AERIE_RETURN_IF_ERROR(CreateWriteClose(fresh, SampleFileSize(), ops));
+  live_files_.push_back(fresh);
+
+  for (int i = 0; i < 5; ++i) {
+    AERIE_ASSIGN_OR_RETURN(std::string victim, PickLive());
+    AERIE_RETURN_IF_ERROR(OpenReadClose(victim, ops));
+  }
+  return AppendTo(log_path_, profile_.append_size, ops);
+}
+
+Status FilebenchRunner::RunIteration(Histogram* ops) {
+  switch (profile_.kind) {
+    case FilebenchKind::kFileserver:
+      return OpFileserver(ops);
+    case FilebenchKind::kWebserver:
+      return OpWebserver(ops);
+    case FilebenchKind::kWebproxy:
+      return OpWebproxy(ops);
+  }
+  return Status(ErrorCode::kInvalidArgument, "unknown profile");
+}
+
+Result<double> FilebenchRunner::RunForSeconds(double seconds,
+                                              Histogram* ops) {
+  Stopwatch sw;
+  const uint64_t before = ops->count();
+  while (sw.ElapsedSeconds() < seconds) {
+    AERIE_RETURN_IF_ERROR(RunIteration(ops));
+  }
+  const double elapsed = sw.ElapsedSeconds();
+  return static_cast<double>(ops->count() - before) / elapsed;
+}
+
+// --- FlatFS Webproxy translation (paper §7.3.2) -----------------------------
+
+FlatWebproxyRunner::FlatWebproxyRunner(FlatFs* flat,
+                                       const FilebenchProfile& profile,
+                                       std::string key_prefix, uint64_t seed)
+    : flat_(flat),
+      profile_(profile),
+      prefix_(std::move(key_prefix)),
+      rng_(seed) {
+  value_buffer_.assign(
+      std::min<uint64_t>(profile_.mean_file_size, flat->file_capacity()),
+      'v');
+  read_buffer_.assign(flat->file_capacity(), '\0');
+}
+
+std::string FlatWebproxyRunner::KeyOf(uint64_t file_id) const {
+  return prefix_ + std::to_string(file_id);
+}
+
+Status FlatWebproxyRunner::Prepare() {
+  live_keys_.reserve(profile_.nfiles);
+  for (uint64_t f = 0; f < profile_.nfiles; ++f) {
+    const std::string key = KeyOf(f);
+    AERIE_RETURN_IF_ERROR(flat_->Put(
+        key, std::span<const char>(value_buffer_.data(),
+                                   value_buffer_.size())));
+    live_keys_.push_back(key);
+  }
+  AERIE_RETURN_IF_ERROR(flat_->Put(prefix_ + "log",
+                                   std::span<const char>("", 0)));
+  return flat_->Sync();
+}
+
+Status FlatWebproxyRunner::RunIteration(Histogram* ops) {
+  // erase + put + 5x get + log get/modify/put (paper's conversion).
+  const uint64_t erase_index = rng_.Uniform(live_keys_.size());
+  const std::string erase_victim = live_keys_[erase_index];
+  AERIE_RETURN_IF_ERROR(
+      Timed(ops, [&] { return flat_->Erase(erase_victim); }));
+  live_keys_[erase_index] = live_keys_.back();
+  live_keys_.pop_back();
+
+  const std::string fresh = prefix_ + "n" + std::to_string(fresh_counter_++);
+  AERIE_RETURN_IF_ERROR(Timed(ops, [&] {
+    return flat_->Put(fresh,
+                      std::span<const char>(value_buffer_.data(),
+                                            value_buffer_.size()));
+  }));
+  live_keys_.push_back(fresh);
+
+  for (int i = 0; i < 5; ++i) {
+    const std::string& victim = live_keys_[rng_.Uniform(live_keys_.size())];
+    AERIE_RETURN_IF_ERROR(Timed(ops, [&] {
+      return flat_
+          ->Get(victim,
+                std::span<char>(read_buffer_.data(), read_buffer_.size()))
+          .status();
+    }));
+  }
+
+  // Append to the log as get/modify/put.
+  const std::string log_key = prefix_ + "log";
+  AERIE_RETURN_IF_ERROR(Timed(ops, [&] {
+    auto n = flat_->Get(log_key, std::span<char>(read_buffer_.data(),
+                                                 read_buffer_.size()));
+    if (!n.ok()) {
+      return n.status();
+    }
+    const uint64_t new_size =
+        std::min<uint64_t>(*n + profile_.append_size, flat_->file_capacity());
+    return flat_->Put(log_key, std::span<const char>(read_buffer_.data(),
+                                                     new_size));
+  }));
+  return OkStatus();
+}
+
+Result<double> FlatWebproxyRunner::RunForSeconds(double seconds,
+                                                 Histogram* ops) {
+  Stopwatch sw;
+  const uint64_t before = ops->count();
+  while (sw.ElapsedSeconds() < seconds) {
+    AERIE_RETURN_IF_ERROR(RunIteration(ops));
+  }
+  const double elapsed = sw.ElapsedSeconds();
+  return static_cast<double>(ops->count() - before) / elapsed;
+}
+
+}  // namespace aerie

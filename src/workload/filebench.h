@@ -1,0 +1,120 @@
+// FileBench-style application workloads (paper §7.2.2).
+//
+// Implements the three profiles the paper evaluates, with its parameters:
+//   Fileserver — sequences of creates, deletes, appends, whole-file reads
+//                and writes. 10,000 files, mean dir width 20, mean file
+//                size 128KB, 1MB I/O size.
+//   Webserver  — open/read/close of ten files plus a log append (read-
+//                mostly). 10,000 files, width 20, mean size 16KB.
+//   Webproxy   — create/write/close, five open/read/close, delete, and a
+//                log append, all in one flat directory. 1,000 files, width
+//                1500, mean size 16KB.
+//
+// Every file-system call's latency is recorded (Table 2 reports the mean
+// per-operation latency and the 95th percentile). A KV translation of
+// Webproxy drives FlatFS (§7.3.2: create-write-close -> put, open-read-
+// close -> get, delete -> erase, append -> get/modify/put).
+#ifndef AERIE_SRC_WORKLOAD_FILEBENCH_H_
+#define AERIE_SRC_WORKLOAD_FILEBENCH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/rand.h"
+#include "src/flatfs/flatfs.h"
+#include "src/workload/fs_adapter.h"
+
+namespace aerie {
+
+enum class FilebenchKind { kFileserver, kWebserver, kWebproxy };
+
+std::string_view FilebenchKindName(FilebenchKind kind);
+
+struct FilebenchProfile {
+  FilebenchKind kind = FilebenchKind::kFileserver;
+  uint64_t nfiles = 10000;
+  uint64_t dir_width = 20;
+  uint64_t mean_file_size = 128 << 10;
+  uint64_t io_size = 1 << 20;
+  uint64_t append_size = 16 << 10;
+
+  // The paper's configurations, scaled by `scale` (1.0 = paper-sized).
+  static FilebenchProfile Paper(FilebenchKind kind, double scale);
+};
+
+// Drives one profile against one FsInterface within `root_dir`.
+class FilebenchRunner {
+ public:
+  // `instance` distinguishes concurrent runners sharing one directory tree
+  // (threads in one process, paper §7.2.3): each instance owns its files
+  // but all instances contend on the same directories.
+  FilebenchRunner(FsInterface* fs, const FilebenchProfile& profile,
+                  std::string root_dir, uint64_t seed, uint64_t instance = 0);
+
+  // Builds the directory tree and pre-populates the fileset.
+  Status Prepare();
+
+  // Runs one workload iteration; each FS call's latency lands in `ops`.
+  Status RunIteration(Histogram* ops);
+
+  // Convenience: iterations until `seconds` elapse; returns ops/sec.
+  Result<double> RunForSeconds(double seconds, Histogram* ops);
+
+  uint64_t files_live() const { return live_files_.size(); }
+
+ private:
+  std::string PathOf(uint64_t file_id) const;
+  std::string FreshPath();
+  Result<std::string> PickLive();
+  uint64_t SampleFileSize();
+
+  Status OpFileserver(Histogram* ops);
+  Status OpWebserver(Histogram* ops);
+  Status OpWebproxy(Histogram* ops);
+
+  // Timed wrappers.
+  Status CreateWriteClose(const std::string& path, uint64_t bytes,
+                          Histogram* ops);
+  Status OpenReadClose(const std::string& path, Histogram* ops);
+  Status AppendTo(const std::string& path, uint64_t bytes, Histogram* ops);
+
+  FsInterface* fs_;
+  FilebenchProfile profile_;
+  std::string root_;
+  uint64_t instance_;
+  Rng rng_;
+  std::vector<std::string> dirs_;
+  std::vector<std::string> live_files_;
+  std::string log_path_;
+  std::string io_buffer_;
+  std::string read_buffer_;
+  uint64_t fresh_counter_ = 0;
+};
+
+// The Webproxy profile translated to FlatFS's put/get/erase (paper §7.3.2).
+class FlatWebproxyRunner {
+ public:
+  FlatWebproxyRunner(FlatFs* flat, const FilebenchProfile& profile,
+                     std::string key_prefix, uint64_t seed);
+
+  Status Prepare();
+  Status RunIteration(Histogram* ops);
+  Result<double> RunForSeconds(double seconds, Histogram* ops);
+
+ private:
+  std::string KeyOf(uint64_t file_id) const;
+
+  FlatFs* flat_;
+  FilebenchProfile profile_;
+  std::string prefix_;
+  Rng rng_;
+  std::vector<std::string> live_keys_;
+  std::string value_buffer_;
+  std::string read_buffer_;
+  uint64_t fresh_counter_ = 0;
+};
+
+}  // namespace aerie
+
+#endif  // AERIE_SRC_WORKLOAD_FILEBENCH_H_

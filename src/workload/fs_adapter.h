@@ -1,0 +1,129 @@
+// Uniform file-system interface the workload generators drive, so every
+// benchmark runs the identical op stream against PXFS and the kernel-FS
+// baselines (paper §7.1: FileBench "calls through libFS rather than system
+// calls" for Aerie, and through syscalls for the kernel file systems).
+#ifndef AERIE_SRC_WORKLOAD_FS_ADAPTER_H_
+#define AERIE_SRC_WORKLOAD_FS_ADAPTER_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "src/common/open_flags.h"
+#include "src/common/status.h"
+#include "src/kernelsim/vfs.h"
+#include "src/pxfs/pxfs.h"
+
+namespace aerie {
+
+class FsInterface {
+ public:
+  virtual ~FsInterface() = default;
+
+  virtual Result<int> Open(std::string_view path, int flags) = 0;
+  virtual Status Close(int fd) = 0;
+  virtual Result<uint64_t> Read(int fd, std::span<char> out) = 0;
+  virtual Result<uint64_t> Write(int fd, std::span<const char> data) = 0;
+  virtual Result<uint64_t> Pread(int fd, uint64_t offset,
+                                 std::span<char> out) = 0;
+  virtual Result<uint64_t> Pwrite(int fd, uint64_t offset,
+                                  std::span<const char> data) = 0;
+  virtual Status Create(std::string_view path) = 0;
+  virtual Status Unlink(std::string_view path) = 0;
+  virtual Status Mkdir(std::string_view path) = 0;
+  virtual Status Rename(std::string_view from, std::string_view to) = 0;
+  // Returns the file size (the stat used by workloads).
+  virtual Result<uint64_t> StatSize(std::string_view path) = 0;
+  // Durability / visibility point (ships Aerie batches; no-op for kernels
+  // that commit synchronously).
+  virtual Status Sync() = 0;
+};
+
+class PxfsAdapter final : public FsInterface {
+ public:
+  explicit PxfsAdapter(Pxfs* fs) : fs_(fs) {}
+
+  Result<int> Open(std::string_view path, int flags) override {
+    return fs_->Open(path, flags);
+  }
+  Status Close(int fd) override { return fs_->Close(fd); }
+  Result<uint64_t> Read(int fd, std::span<char> out) override {
+    return fs_->Read(fd, out);
+  }
+  Result<uint64_t> Write(int fd, std::span<const char> data) override {
+    return fs_->Write(fd, data);
+  }
+  Result<uint64_t> Pread(int fd, uint64_t offset,
+                         std::span<char> out) override {
+    return fs_->Pread(fd, offset, out);
+  }
+  Result<uint64_t> Pwrite(int fd, uint64_t offset,
+                          std::span<const char> data) override {
+    return fs_->Pwrite(fd, offset, data);
+  }
+  Status Create(std::string_view path) override { return fs_->Create(path); }
+  Status Unlink(std::string_view path) override { return fs_->Unlink(path); }
+  Status Mkdir(std::string_view path) override { return fs_->Mkdir(path); }
+  Status Rename(std::string_view from, std::string_view to) override {
+    return fs_->Rename(from, to);
+  }
+  Result<uint64_t> StatSize(std::string_view path) override {
+    auto st = fs_->Stat(path);
+    if (!st.ok()) {
+      return st.status();
+    }
+    return st->size;
+  }
+  Status Sync() override { return fs_->SyncAll(); }
+
+ private:
+  Pxfs* fs_;
+};
+
+class VfsAdapter final : public FsInterface {
+ public:
+  explicit VfsAdapter(KernelVfs* vfs) : vfs_(vfs) {}
+
+  Result<int> Open(std::string_view path, int flags) override {
+    return vfs_->Open(path, flags);
+  }
+  Status Close(int fd) override { return vfs_->Close(fd); }
+  Result<uint64_t> Read(int fd, std::span<char> out) override {
+    return vfs_->Read(fd, out);
+  }
+  Result<uint64_t> Write(int fd, std::span<const char> data) override {
+    return vfs_->Write(fd, data);
+  }
+  Result<uint64_t> Pread(int fd, uint64_t offset,
+                         std::span<char> out) override {
+    return vfs_->Pread(fd, offset, out);
+  }
+  Result<uint64_t> Pwrite(int fd, uint64_t offset,
+                          std::span<const char> data) override {
+    return vfs_->Pwrite(fd, offset, data);
+  }
+  Status Create(std::string_view path) override { return vfs_->Create(path); }
+  Status Unlink(std::string_view path) override {
+    return vfs_->Unlink(path);
+  }
+  Status Mkdir(std::string_view path) override { return vfs_->Mkdir(path); }
+  Status Rename(std::string_view from, std::string_view to) override {
+    return vfs_->Rename(from, to);
+  }
+  Result<uint64_t> StatSize(std::string_view path) override {
+    auto attr = vfs_->Stat(path);
+    if (!attr.ok()) {
+      return attr.status();
+    }
+    return attr->size;
+  }
+  Status Sync() override { return OkStatus(); }
+
+ private:
+  KernelVfs* vfs_;
+};
+
+}  // namespace aerie
+
+#endif  // AERIE_SRC_WORKLOAD_FS_ADAPTER_H_

@@ -1,0 +1,59 @@
+// Microbenchmarks for Table 1 (paper §7.2.1): latency of common file-system
+// operations.
+//
+//   Sequential read/write — 1GB file in 4KB blocks
+//   Random read/write     — random 100MB out of a 1GB file in 4KB blocks
+//   Open / Create / Delete — 1024 4KB files (open and create include close)
+//   Append                — 4KB appends
+//
+// Sizes are parameterized so the same code runs paper-sized on big machines
+// and scaled-down in CI.
+#ifndef AERIE_SRC_WORKLOAD_MICROBENCH_H_
+#define AERIE_SRC_WORKLOAD_MICROBENCH_H_
+
+#include <string>
+
+#include "src/common/histogram.h"
+#include "src/common/rand.h"
+#include "src/workload/fs_adapter.h"
+
+namespace aerie {
+
+struct MicrobenchConfig {
+  uint64_t file_bytes = 1ull << 30;       // "1GB file"
+  uint64_t random_bytes = 100ull << 20;   // "randomly access 100MB"
+  uint64_t io_size = 4096;
+  uint64_t nfiles = 1024;                 // open/create/delete population
+  uint64_t small_file_bytes = 4096;
+  uint64_t append_count = 1024;
+
+  static MicrobenchConfig Scaled(double scale);
+};
+
+// Each returns the op latency distribution in nanoseconds.
+Result<Histogram> BenchSeqRead(FsInterface* fs, const std::string& dir,
+                               const MicrobenchConfig& config);
+Result<Histogram> BenchSeqWrite(FsInterface* fs, const std::string& dir,
+                                const MicrobenchConfig& config);
+Result<Histogram> BenchRandRead(FsInterface* fs, const std::string& dir,
+                                const MicrobenchConfig& config,
+                                uint64_t seed);
+Result<Histogram> BenchRandWrite(FsInterface* fs, const std::string& dir,
+                                 const MicrobenchConfig& config,
+                                 uint64_t seed);
+// Open (open+close of existing 4KB files).
+Result<Histogram> BenchOpen(FsInterface* fs, const std::string& dir,
+                            const MicrobenchConfig& config);
+// Create (create+write 4KB+close of fresh files).
+Result<Histogram> BenchCreate(FsInterface* fs, const std::string& dir,
+                              const MicrobenchConfig& config);
+// Delete of the files Create produced.
+Result<Histogram> BenchDelete(FsInterface* fs, const std::string& dir,
+                              const MicrobenchConfig& config);
+// 4KB appends to one file.
+Result<Histogram> BenchAppend(FsInterface* fs, const std::string& dir,
+                              const MicrobenchConfig& config);
+
+}  // namespace aerie
+
+#endif  // AERIE_SRC_WORKLOAD_MICROBENCH_H_

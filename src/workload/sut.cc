@@ -1,0 +1,156 @@
+#include "src/workload/sut.h"
+
+namespace aerie {
+
+std::string_view SutKindName(SutKind kind) {
+  switch (kind) {
+    case SutKind::kPxfs:
+      return "PXFS";
+    case SutKind::kPxfsNnc:
+      return "PXFS-NNC";
+    case SutKind::kRamFs:
+      return "RamFS";
+    case SutKind::kExt3:
+      return "ext3";
+    case SutKind::kExt4:
+      return "ext4";
+    case SutKind::kFlatFs:
+      return "FlatFS";
+  }
+  return "?";
+}
+
+Result<std::unique_ptr<SystemUnderTest>> SystemUnderTest::Create(
+    SutKind kind, const Options& options) {
+  auto sut = std::unique_ptr<SystemUnderTest>(new SystemUnderTest());
+  sut->kind_ = kind;
+  sut->options_ = options;
+
+  switch (kind) {
+    case SutKind::kPxfs:
+    case SutKind::kPxfsNnc:
+    case SutKind::kFlatFs: {
+      AerieSystem::Options aerie_options;
+      aerie_options.region_bytes = options.region_bytes;
+      aerie_options.rpc_delay_ns = options.rpc_delay_ns;
+      aerie_options.scm_write_ns = options.write_latency_ns;
+      auto aerie = AerieSystem::Create(aerie_options);
+      if (!aerie.ok()) {
+        return aerie.status();
+      }
+      sut->aerie_ = std::move(*aerie);
+      auto client = sut->aerie_->NewClient();
+      if (!client.ok()) {
+        return client.status();
+      }
+      sut->client_ = std::move(*client);
+      Pxfs::Options pxfs_options;
+      pxfs_options.name_cache = kind != SutKind::kPxfsNnc;
+      sut->pxfs_ = std::make_unique<Pxfs>(sut->client_->fs(), pxfs_options);
+      sut->default_fs_ = std::make_unique<PxfsAdapter>(sut->pxfs_.get());
+      if (kind == SutKind::kFlatFs) {
+        FlatFs::Options flat_options;
+        flat_options.file_capacity = options.flat_capacity;
+        sut->flat_ =
+            std::make_unique<FlatFs>(sut->client_->fs(), flat_options);
+      }
+      return sut;
+    }
+
+    case SutKind::kRamFs:
+    case SutKind::kExt3:
+    case SutKind::kExt4: {
+      KernelVfs::Options vfs_options;
+      vfs_options.syscall_entry_ns = options.syscall_entry_ns;
+      if (kind == SutKind::kRamFs) {
+        sut->backend_ = std::make_unique<RamFsBackend>();
+      } else {
+        auto disk = RamDisk::Create(options.disk_blocks);
+        if (!disk.ok()) {
+          return disk.status();
+        }
+        sut->disk_ = std::move(*disk);
+        sut->disk_->set_write_ns(options.write_latency_ns);
+        ExtSimFs::Options ext_options;
+        ext_options.use_extents = kind == SutKind::kExt4;
+        // JBD calibration: ext3/JBD1 commits are synchronous and costly;
+        // ext4/JBD2 commits are cheaper (EXPERIMENTS.md).
+        ext_options.journal_commit_overhead_ns =
+            kind == SutKind::kExt4 ? 8000 : 15000;
+        auto backend = ExtSimFs::Format(sut->disk_.get(), ext_options);
+        if (!backend.ok()) {
+          return backend.status();
+        }
+        sut->backend_ = std::move(*backend);
+      }
+      sut->vfs_ =
+          std::make_unique<KernelVfs>(sut->backend_.get(), vfs_options);
+      sut->default_fs_ = std::make_unique<VfsAdapter>(sut->vfs_.get());
+      return sut;
+    }
+  }
+  return Status(ErrorCode::kInvalidArgument, "unknown SUT kind");
+}
+
+SystemUnderTest::~SystemUnderTest() {
+  // Teardown order: interface layers before their clients.
+  for (auto& extra : extra_clients_) {
+    extra->adapter.reset();
+    extra->pxfs.reset();
+    extra->flat.reset();
+    extra->client.reset();
+  }
+  flat_.reset();
+  default_fs_.reset();
+  pxfs_.reset();
+  client_.reset();
+}
+
+Result<FsInterface*> SystemUnderTest::NewClientFs() {
+  if (aerie_ == nullptr) {
+    return default_fs_.get();  // kernel: all processes share the VFS
+  }
+  auto client = aerie_->NewClient();
+  if (!client.ok()) {
+    return client.status();
+  }
+  auto extra = std::make_unique<ExtraClient>();
+  extra->client = std::move(*client);
+  Pxfs::Options pxfs_options;
+  pxfs_options.name_cache = kind_ != SutKind::kPxfsNnc;
+  extra->pxfs = std::make_unique<Pxfs>(extra->client->fs(), pxfs_options);
+  extra->adapter = std::make_unique<PxfsAdapter>(extra->pxfs.get());
+  FsInterface* out = extra->adapter.get();
+  extra_clients_.push_back(std::move(extra));
+  return out;
+}
+
+Result<FlatFs*> SystemUnderTest::NewClientFlat() {
+  if (aerie_ == nullptr) {
+    return Status(ErrorCode::kNotSupported, "FlatFS requires an Aerie SUT");
+  }
+  auto client = aerie_->NewClient();
+  if (!client.ok()) {
+    return client.status();
+  }
+  auto extra = std::make_unique<ExtraClient>();
+  extra->client = std::move(*client);
+  FlatFs::Options flat_options;
+  flat_options.file_capacity = options_.flat_capacity;
+  extra->flat =
+      std::make_unique<FlatFs>(extra->client->fs(), flat_options);
+  FlatFs* out = extra->flat.get();
+  extra_clients_.push_back(std::move(extra));
+  return out;
+}
+
+void SystemUnderTest::SetWriteLatency(uint64_t ns) {
+  if (aerie_ != nullptr) {
+    aerie_->scm_region()->latency_model().set_write_ns(ns);
+  }
+  if (disk_ != nullptr) {
+    disk_->set_write_ns(ns);
+  }
+}
+
+}  // namespace aerie

@@ -1,0 +1,107 @@
+// System-under-test factory: builds each file-system configuration the
+// paper evaluates (§7.1) behind a uniform handle the benchmarks drive.
+//
+//   kPxfs      — Aerie PXFS with the path-name cache
+//   kPxfsNnc   — PXFS with no name caching (PXFS-NNC)
+//   kRamFs     — kernel-VFS + RamFS backend (no crash consistency)
+//   kExt3      — kernel-VFS + ExtSimFs (indirect blocks + journal)
+//   kExt4      — kernel-VFS + ExtSimFs (extents + journal)
+//   kFlatFs    — Aerie FlatFS (per-client FlatFs handles)
+//
+// Extra clients (Aerie kinds) model the paper's multiprogrammed processes:
+// each gets its own libFS, clerk, caches and session (DESIGN.md §4).
+#ifndef AERIE_SRC_WORKLOAD_SUT_H_
+#define AERIE_SRC_WORKLOAD_SUT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/flatfs/flatfs.h"
+#include "src/kernelsim/extsim.h"
+#include "src/kernelsim/ramfs.h"
+#include "src/libfs/system.h"
+#include "src/workload/fs_adapter.h"
+
+namespace aerie {
+
+enum class SutKind {
+  kPxfs,
+  kPxfsNnc,
+  kRamFs,
+  kExt3,
+  kExt4,
+  kFlatFs,
+};
+
+std::string_view SutKindName(SutKind kind);
+
+class SystemUnderTest {
+ public:
+  struct Options {
+    uint64_t region_bytes = 2ull << 30;   // Aerie SCM region
+    uint64_t disk_blocks = 512ull << 10;  // RAM disk (2GB at 4KB)
+    uint64_t write_latency_ns = 0;        // Figure 6 knob (per cache line)
+    uint64_t rpc_delay_ns = 10000;        // modeled loopback RPC round trip
+    uint64_t syscall_entry_ns = 250;      // kernel baselines
+    uint64_t flat_capacity = 64 << 10;
+  };
+
+  static Result<std::unique_ptr<SystemUnderTest>> Create(
+      SutKind kind, const Options& options);
+
+  ~SystemUnderTest();
+
+  SutKind kind() const { return kind_; }
+  std::string_view name() const { return SutKindName(kind_); }
+
+  // The default client's FS handle (thread-safe; threads of one "process").
+  FsInterface* fs() { return default_fs_.get(); }
+
+  // A new independent client (own libFS/clerk/caches). Kernel kinds return
+  // the shared VFS (processes share the kernel). Returned pointer is owned
+  // by the SUT.
+  Result<FsInterface*> NewClientFs();
+
+  // FlatFS handles (kind kFlatFs only).
+  FlatFs* flat() { return flat_.get(); }
+  Result<FlatFs*> NewClientFlat();
+
+  // Adjusts the persistence-latency knob everywhere (Figure 6).
+  void SetWriteLatency(uint64_t ns);
+
+  // Underlying pieces (ablation benches poke at these).
+  AerieSystem* aerie() { return aerie_.get(); }
+  Pxfs* pxfs() { return pxfs_.get(); }
+  KernelVfs* vfs() { return vfs_.get(); }
+
+ private:
+  SystemUnderTest() = default;
+
+  SutKind kind_ = SutKind::kPxfs;
+  Options options_;
+
+  // Aerie side.
+  std::unique_ptr<AerieSystem> aerie_;
+  std::unique_ptr<AerieSystem::Client> client_;
+  std::unique_ptr<Pxfs> pxfs_;
+  std::unique_ptr<FlatFs> flat_;
+  struct ExtraClient {
+    std::unique_ptr<AerieSystem::Client> client;
+    std::unique_ptr<Pxfs> pxfs;
+    std::unique_ptr<FlatFs> flat;
+    std::unique_ptr<FsInterface> adapter;
+  };
+  std::vector<std::unique_ptr<ExtraClient>> extra_clients_;
+
+  // Kernel side.
+  std::unique_ptr<RamDisk> disk_;
+  std::unique_ptr<KernelFsBackend> backend_;
+  std::unique_ptr<KernelVfs> vfs_;
+
+  std::unique_ptr<FsInterface> default_fs_;
+};
+
+}  // namespace aerie
+
+#endif  // AERIE_SRC_WORKLOAD_SUT_H_

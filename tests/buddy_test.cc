@@ -1,0 +1,140 @@
+// Tests for the buddy allocator: allocation, splitting, coalescing,
+// persistence of the bitmap across remount, exhaustion, double free.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/osd/buddy.h"
+
+namespace aerie {
+namespace {
+
+class BuddyTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kPages = 1024;
+  static constexpr uint64_t kBitmapOffset = 4096;
+  static constexpr uint64_t kDataStart = 1 << 20;
+
+  void SetUp() override {
+    auto region = ScmRegion::CreateAnonymous(16 << 20);
+    ASSERT_TRUE(region.ok());
+    region_ = std::move(*region);
+    auto alloc = BuddyAllocator::Create(region_.get(), kBitmapOffset,
+                                        kDataStart, kPages, /*fresh=*/true);
+    ASSERT_TRUE(alloc.ok());
+    alloc_ = std::move(*alloc);
+  }
+
+  std::unique_ptr<ScmRegion> region_;
+  std::unique_ptr<BuddyAllocator> alloc_;
+};
+
+TEST_F(BuddyTest, OrderForBytes) {
+  EXPECT_EQ(BuddyAllocator::OrderForBytes(1), 0);
+  EXPECT_EQ(BuddyAllocator::OrderForBytes(4096), 0);
+  EXPECT_EQ(BuddyAllocator::OrderForBytes(4097), 1);
+  EXPECT_EQ(BuddyAllocator::OrderForBytes(8192), 1);
+  EXPECT_EQ(BuddyAllocator::OrderForBytes(64 << 10), 4);
+}
+
+TEST_F(BuddyTest, AllocReturnsAlignedDisjointBlocks) {
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 100; ++i) {
+    auto offset = alloc_->Alloc(0);
+    ASSERT_TRUE(offset.ok());
+    EXPECT_EQ(*offset % kScmPageSize, 0u);
+    EXPECT_GE(*offset, kDataStart);
+    EXPECT_TRUE(seen.insert(*offset).second);
+    EXPECT_TRUE(alloc_->IsAllocated(*offset));
+  }
+  EXPECT_EQ(alloc_->pages_free(), kPages - 100);
+}
+
+TEST_F(BuddyTest, LargeBlocksAreNaturallyAligned) {
+  auto offset = alloc_->Alloc(4);  // 16 pages
+  ASSERT_TRUE(offset.ok());
+  EXPECT_EQ((*offset - kDataStart) % (16 * kScmPageSize), 0u);
+}
+
+TEST_F(BuddyTest, FreeAndCoalesceRestoresFullCapacity) {
+  std::vector<uint64_t> blocks;
+  for (int i = 0; i < 64; ++i) {
+    auto offset = alloc_->Alloc(2);  // 4 pages each
+    ASSERT_TRUE(offset.ok());
+    blocks.push_back(*offset);
+  }
+  EXPECT_EQ(alloc_->pages_free(), kPages - 64 * 4);
+  for (uint64_t b : blocks) {
+    EXPECT_TRUE(alloc_->Free(b, 2).ok());
+  }
+  EXPECT_EQ(alloc_->pages_free(), kPages);
+  // After coalescing, a max-order block must be allocatable again.
+  EXPECT_TRUE(alloc_->Alloc(BuddyAllocator::kMaxOrder).ok());
+}
+
+TEST_F(BuddyTest, ExhaustionReportsOutOfSpace) {
+  uint64_t total = 0;
+  while (true) {
+    auto offset = alloc_->Alloc(0);
+    if (!offset.ok()) {
+      EXPECT_EQ(offset.code(), ErrorCode::kOutOfSpace);
+      break;
+    }
+    total++;
+  }
+  EXPECT_EQ(total, kPages);
+  EXPECT_EQ(alloc_->pages_free(), 0u);
+}
+
+TEST_F(BuddyTest, DoubleFreeRejected) {
+  auto offset = alloc_->Alloc(0);
+  ASSERT_TRUE(offset.ok());
+  EXPECT_TRUE(alloc_->Free(*offset, 0).ok());
+  EXPECT_EQ(alloc_->Free(*offset, 0).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(BuddyTest, BadFreeArgumentsRejected) {
+  EXPECT_EQ(alloc_->Free(kDataStart - kScmPageSize, 0).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(alloc_->Free(kDataStart + 17, 0).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(alloc_->Free(kDataStart, 99).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(BuddyTest, StateSurvivesRemount) {
+  auto a = alloc_->Alloc(3);  // 8 pages
+  auto b = alloc_->Alloc(0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const uint64_t free_before = alloc_->pages_free();
+
+  // Remount from the persistent bitmap (volatile free lists rebuilt).
+  auto remounted = BuddyAllocator::Create(region_.get(), kBitmapOffset,
+                                          kDataStart, kPages,
+                                          /*fresh=*/false);
+  ASSERT_TRUE(remounted.ok());
+  EXPECT_EQ((*remounted)->pages_free(), free_before);
+  EXPECT_TRUE((*remounted)->IsAllocated(*a));
+  EXPECT_TRUE((*remounted)->IsAllocated(*b));
+  // Freeing through the remounted allocator works.
+  EXPECT_TRUE((*remounted)->Free(*a, 3).ok());
+  EXPECT_EQ((*remounted)->pages_free(), free_before + 8);
+  // New allocations never overlap surviving ones.
+  for (int i = 0; i < 50; ++i) {
+    auto offset = (*remounted)->Alloc(0);
+    ASSERT_TRUE(offset.ok());
+    EXPECT_NE(*offset, *b);
+  }
+}
+
+TEST_F(BuddyTest, AllocBytesRoundsUp) {
+  auto offset = alloc_->AllocBytes(5000);
+  ASSERT_TRUE(offset.ok());
+  EXPECT_EQ(alloc_->pages_free(), kPages - 2);
+  EXPECT_TRUE(alloc_->FreeBytes(*offset, 5000).ok());
+  EXPECT_EQ(alloc_->pages_free(), kPages);
+}
+
+}  // namespace
+}  // namespace aerie

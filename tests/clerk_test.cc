@@ -1,0 +1,240 @@
+// Tests for the lock clerk: caching, hierarchical local grants, revocation
+// draining, de-escalation, release hooks, lease loss.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/lock/clerk.h"
+#include "src/lock/lock_service.h"
+
+namespace aerie {
+namespace {
+
+// Direct (no-RPC) stub binding a clerk to an in-process service.
+class DirectLockClient : public LockServiceClient {
+ public:
+  DirectLockClient(LockService* service, uint64_t client_id)
+      : service_(service), client_id_(client_id) {}
+  Status Acquire(LockId id, LockMode mode, bool wait) override {
+    return service_->Acquire(client_id_, id, mode, wait);
+  }
+  Status Release(LockId id) override {
+    return service_->Release(client_id_, id);
+  }
+  Status Downgrade(LockId id, LockMode to) override {
+    return service_->Downgrade(client_id_, id, to);
+  }
+  Status Renew() override { return service_->Renew(client_id_); }
+
+ private:
+  LockService* service_;
+  uint64_t client_id_;
+};
+
+class ClerkTest : public ::testing::Test {
+ protected:
+  ClerkTest() {
+    LockService::Options options;
+    options.lease_ms = 60000;
+    options.wait_timeout_ms = 1000;
+    service_ = std::make_unique<LockService>(options);
+  }
+
+  struct Bound {
+    std::unique_ptr<DirectLockClient> stub;
+    std::unique_ptr<LockClerk> clerk;
+  };
+
+  Bound MakeClient(uint64_t id) {
+    Bound b;
+    b.stub = std::make_unique<DirectLockClient>(service_.get(), id);
+    LockClerk::Options copts;
+    copts.local_wait_timeout_ms = 1000;
+    b.clerk = std::make_unique<LockClerk>(b.stub.get(), copts);
+    service_->RegisterClient(id, b.clerk.get());
+    return b;
+  }
+
+  std::unique_ptr<LockService> service_;
+};
+
+TEST_F(ClerkTest, AcquireTakesGlobalOnce) {
+  auto c = MakeClient(1);
+  EXPECT_TRUE(c.clerk->Acquire(100, LockMode::kShared).ok());
+  EXPECT_EQ(service_->HeldMode(1, 100), LockMode::kShared);
+  EXPECT_TRUE(c.clerk->LocallyHeld(100));
+  c.clerk->Release(100);
+  EXPECT_FALSE(c.clerk->LocallyHeld(100));
+  // Lock caching: global retained after local release; reacquire is local.
+  EXPECT_EQ(service_->HeldMode(1, 100), LockMode::kShared);
+  const uint64_t rpcs = c.clerk->global_acquires();
+  EXPECT_TRUE(c.clerk->Acquire(100, LockMode::kShared).ok());
+  EXPECT_EQ(c.clerk->global_acquires(), rpcs);
+  c.clerk->Release(100);
+}
+
+TEST_F(ClerkTest, AncestorIntentLocksTaken) {
+  auto c = MakeClient(1);
+  const LockId ancestors[] = {10, 20};
+  EXPECT_TRUE(c.clerk->Acquire(100, LockMode::kExclusive, ancestors).ok());
+  EXPECT_EQ(service_->HeldMode(1, 10), LockMode::kIntentExclusive);
+  EXPECT_EQ(service_->HeldMode(1, 20), LockMode::kIntentExclusive);
+  EXPECT_EQ(service_->HeldMode(1, 100), LockMode::kExclusive);
+}
+
+TEST_F(ClerkTest, HierarchicalLockGrantsDescendantsLocally) {
+  auto c = MakeClient(1);
+  ASSERT_TRUE(c.clerk->Acquire(10, LockMode::kExclusiveHier).ok());
+  c.clerk->Release(10);
+
+  const uint64_t rpcs = c.clerk->global_acquires();
+  const LockId ancestors[] = {10};
+  // Descendants granted locally under the cached XH lock: no new RPC.
+  EXPECT_TRUE(c.clerk->Acquire(101, LockMode::kExclusive, ancestors).ok());
+  EXPECT_TRUE(c.clerk->Acquire(102, LockMode::kShared, ancestors).ok());
+  EXPECT_EQ(c.clerk->global_acquires(), rpcs);
+  EXPECT_EQ(service_->HeldMode(1, 101), LockMode::kFree);
+  c.clerk->Release(101);
+  c.clerk->Release(102);
+}
+
+TEST_F(ClerkTest, SharedHierDoesNotCoverWrites) {
+  auto c = MakeClient(1);
+  ASSERT_TRUE(c.clerk->Acquire(10, LockMode::kSharedHier).ok());
+  c.clerk->Release(10);
+  const uint64_t rpcs = c.clerk->global_acquires();
+  const LockId ancestors[] = {10};
+  // Read covered locally; write needs a global acquire.
+  EXPECT_TRUE(c.clerk->Acquire(101, LockMode::kShared, ancestors).ok());
+  EXPECT_EQ(c.clerk->global_acquires(), rpcs);
+  EXPECT_TRUE(c.clerk->Acquire(102, LockMode::kExclusive, ancestors).ok());
+  EXPECT_GT(c.clerk->global_acquires(), rpcs);
+  c.clerk->Release(101);
+  c.clerk->Release(102);
+}
+
+TEST_F(ClerkTest, RevocationWaitsForLocalRelease) {
+  auto c1 = MakeClient(1);
+  auto c2 = MakeClient(2);
+  ASSERT_TRUE(c1.clerk->Acquire(100, LockMode::kExclusive).ok());
+
+  std::atomic<bool> granted{false};
+  std::thread contender([&] {
+    EXPECT_TRUE(c2.clerk->Acquire(100, LockMode::kExclusive).ok());
+    granted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(granted.load());  // c1 still holds the local mutex
+  c1.clerk->Release(100);        // drain -> clerk releases global
+  contender.join();
+  EXPECT_TRUE(granted.load());
+  EXPECT_EQ(service_->HeldMode(1, 100), LockMode::kFree);
+  c2.clerk->Release(100);
+}
+
+TEST_F(ClerkTest, ReleaseHookRunsBeforeGlobalRelease) {
+  auto c1 = MakeClient(1);
+  auto c2 = MakeClient(2);
+  std::atomic<int> hook_calls{0};
+  c1.clerk->set_release_hook([&](LockId id, LockMode) {
+    EXPECT_EQ(id, 100u);
+    // At hook time the lock must still be held at the service.
+    EXPECT_NE(service_->HeldMode(1, 100), LockMode::kFree);
+    hook_calls++;
+  });
+  ASSERT_TRUE(c1.clerk->Acquire(100, LockMode::kExclusive).ok());
+  c1.clerk->Release(100);
+  EXPECT_TRUE(c2.clerk->Acquire(100, LockMode::kExclusive).ok());
+  EXPECT_GE(hook_calls.load(), 1);
+  c2.clerk->Release(100);
+}
+
+TEST_F(ClerkTest, DeEscalationPromotesInUseChildren) {
+  auto c1 = MakeClient(1);
+  auto c2 = MakeClient(2);
+  // c1 holds XH on the directory and a locally-granted lock on a file.
+  ASSERT_TRUE(c1.clerk->Acquire(10, LockMode::kExclusiveHier).ok());
+  c1.clerk->Release(10);
+  const LockId ancestors[] = {10};
+  ASSERT_TRUE(c1.clerk->Acquire(101, LockMode::kExclusive, ancestors).ok());
+  EXPECT_EQ(service_->HeldMode(1, 101), LockMode::kFree);  // local only
+
+  // c2 wants the directory read-locked: c1 must de-escalate, keeping its
+  // in-use file lock by acquiring it explicitly.
+  std::thread contender([&] {
+    EXPECT_TRUE(c2.clerk->Acquire(10, LockMode::kShared).ok());
+  });
+  contender.join();
+  EXPECT_EQ(service_->HeldMode(1, 101), LockMode::kExclusive);
+  // Directory lock de-escalated to intent mode (still protects child).
+  EXPECT_EQ(service_->HeldMode(1, 10), LockMode::kIntentExclusive);
+  c1.clerk->Release(101);
+  c2.clerk->Release(10);
+}
+
+TEST_F(ClerkTest, LeaseLossVoidsAuthority) {
+  auto c1 = MakeClient(1);
+  auto c2 = MakeClient(2);
+  ASSERT_TRUE(c1.clerk->Acquire(100, LockMode::kExclusive).ok());
+  c1.clerk->Release(100);
+  service_->ExpireLeaseForTesting(1);
+  EXPECT_TRUE(c2.clerk->Acquire(100, LockMode::kExclusive).ok());
+  EXPECT_TRUE(c1.clerk->lease_lost());
+  EXPECT_EQ(c1.clerk->GlobalMode(100), LockMode::kFree);
+  c2.clerk->Release(100);
+}
+
+TEST_F(ClerkTest, GlobalAuthorityResolvesCoverChain) {
+  auto c = MakeClient(1);
+  ASSERT_TRUE(c.clerk->Acquire(10, LockMode::kExclusiveHier).ok());
+  c.clerk->Release(10);
+  const LockId ancestors[] = {10};
+  ASSERT_TRUE(c.clerk->Acquire(101, LockMode::kExclusive, ancestors).ok());
+  EXPECT_EQ(c.clerk->GlobalAuthorityOf(101), 10u);
+  EXPECT_EQ(c.clerk->GlobalAuthorityOf(10), 10u);
+  c.clerk->Release(101);
+}
+
+TEST_F(ClerkTest, ReleaseIdleGlobalsDropsOnlyIdle) {
+  auto c = MakeClient(1);
+  ASSERT_TRUE(c.clerk->Acquire(100, LockMode::kShared).ok());
+  ASSERT_TRUE(c.clerk->Acquire(200, LockMode::kShared).ok());
+  c.clerk->Release(200);
+  // 100 is in use; 200 is idle.
+  c.clerk->ReleaseIdleGlobals(0);
+  EXPECT_EQ(service_->HeldMode(1, 100), LockMode::kShared);
+  EXPECT_EQ(service_->HeldMode(1, 200), LockMode::kFree);
+  c.clerk->Release(100);
+}
+
+TEST_F(ClerkTest, LocalReadersShareLocalWriterExcludes) {
+  auto c = MakeClient(1);
+  ASSERT_TRUE(c.clerk->Acquire(100, LockMode::kExclusive).ok());
+  std::atomic<bool> got{false};
+  std::thread t([&] {
+    EXPECT_TRUE(c.clerk->Acquire(100, LockMode::kExclusive).ok());
+    got.store(true);
+    c.clerk->Release(100);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(got.load());
+  c.clerk->Release(100);
+  t.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST_F(ClerkTest, ReleaseAllGlobalsLeavesNothingHeld) {
+  auto c = MakeClient(1);
+  ASSERT_TRUE(c.clerk->Acquire(100, LockMode::kShared).ok());
+  ASSERT_TRUE(c.clerk->Acquire(200, LockMode::kExclusiveHier).ok());
+  c.clerk->Release(100);
+  c.clerk->Release(200);
+  c.clerk->ReleaseAllGlobals();
+  EXPECT_EQ(service_->HeldMode(1, 100), LockMode::kFree);
+  EXPECT_EQ(service_->HeldMode(1, 200), LockMode::kFree);
+}
+
+}  // namespace
+}  // namespace aerie

@@ -1,0 +1,143 @@
+// Unit tests for src/common: Status/Result, hashing, RNG, histogram.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/hash.h"
+#include "src/common/histogram.h"
+#include "src/common/rand.h"
+#include "src/common/status.h"
+
+namespace aerie {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), ErrorCode::kOk);
+  EXPECT_EQ(st.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st(ErrorCode::kNotFound, "no such file");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(st.ToString(), "not-found: no such file");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+    EXPECT_NE(ErrorCodeName(static_cast<ErrorCode>(c)), "unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r(Status(ErrorCode::kBusy, "later"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kBusy);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) {
+    return Status(ErrorCode::kInvalidArgument, "odd");
+  }
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  AERIE_ASSIGN_OR_RETURN(int h, Half(x));
+  AERIE_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_EQ(Quarter(6).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(HashTest, DeterministicAndSpread) {
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+  // Sequential keys should land in many distinct buckets.
+  std::set<uint64_t> buckets;
+  for (int i = 0; i < 1000; ++i) {
+    buckets.insert(HashString("file" + std::to_string(i)) % 128);
+  }
+  EXPECT_GT(buckets.size(), 100u);
+}
+
+TEST(HashTest, Mix64IsBijectiveish) {
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    seen.insert(Mix64(i));
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    const uint64_t v = rng.UniformRange(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+  EXPECT_EQ(rng.Uniform(0), 0u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) {
+    h.Record(v * 1000);
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 1000u);
+  EXPECT_EQ(h.max(), 100000u);
+  EXPECT_NEAR(h.Mean(), 50500.0, 1.0);
+  // Log-bucketed: ~1.6% relative resolution, allow slack.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 50000, 5000);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(95)), 95000, 8000);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Record(10);
+  b.Record(1000000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000000u);
+}
+
+TEST(HistogramTest, EmptyIsSafe) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(99), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace aerie

@@ -1,0 +1,133 @@
+// Tests for the volume integrity checker.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/libfs/system.h"
+#include "src/pxfs/pxfs.h"
+#include "src/flatfs/flatfs.h"
+#include "src/tfs/fsck.h"
+
+namespace aerie {
+namespace {
+
+class FsckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AerieSystem::Options options;
+    options.region_bytes = 256ull << 20;
+    auto sys = AerieSystem::Create(options);
+    ASSERT_TRUE(sys.ok());
+    sys_ = std::move(*sys);
+    auto client = sys_->NewClient();
+    ASSERT_TRUE(client.ok());
+    client_ = std::move(*client);
+  }
+
+  void TearDown() override {
+    client_.reset();
+    sys_.reset();
+  }
+
+  std::unique_ptr<AerieSystem> sys_;
+  std::unique_ptr<AerieSystem::Client> client_;
+};
+
+TEST_F(FsckTest, FreshVolumeIsClean) {
+  auto report = RunFsck(sys_->volume());
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok()) << report->Summary();
+  EXPECT_EQ(report->directories, 1u);  // just the root
+}
+
+TEST_F(FsckTest, PopulatedVolumeIsClean) {
+  Pxfs pxfs(client_->fs());
+  ASSERT_TRUE(pxfs.Mkdir("/a").ok());
+  ASSERT_TRUE(pxfs.Mkdir("/a/b").ok());
+  for (int i = 0; i < 20; ++i) {
+    const std::string path = "/a/b/f" + std::to_string(i);
+    auto fd = pxfs.Open(path, kOpenCreate | kOpenWrite);
+    ASSERT_TRUE(fd.ok());
+    const std::string data(3000, 'x');
+    ASSERT_TRUE(
+        pxfs.Write(*fd, std::span<const char>(data.data(), data.size()))
+            .ok());
+    ASSERT_TRUE(pxfs.Close(*fd).ok());
+  }
+  ASSERT_TRUE(pxfs.Link("/a/b/f0", "/a/alias").ok());
+  FlatFs flat(client_->fs());
+  for (int i = 0; i < 10; ++i) {
+    const std::string value = "value";
+    ASSERT_TRUE(flat.Put("k" + std::to_string(i),
+                         std::span<const char>(value.data(), value.size()))
+                    .ok());
+  }
+  ASSERT_TRUE(pxfs.SyncAll().ok());
+
+  auto report = RunFsck(sys_->volume());
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok()) << report->Summary();
+  EXPECT_EQ(report->directories, 3u);  // /, /a, /a/b
+  EXPECT_EQ(report->files, 20u);       // 20 objects (one hard-linked twice)
+  EXPECT_EQ(report->flat_files, 10u);
+}
+
+TEST_F(FsckTest, DetectsBadLinkCount) {
+  Pxfs pxfs(client_->fs());
+  ASSERT_TRUE(pxfs.Create("/victim").ok());
+  ASSERT_TRUE(pxfs.SyncAll().ok());
+
+  // Corrupt the link count behind the TFS's back.
+  auto dir = Collection::Open(sys_->volume()->context(),
+                              sys_->tfs()->GetRoots().pxfs_root);
+  ASSERT_TRUE(dir.ok());
+  auto oid = dir->Lookup("victim");
+  ASSERT_TRUE(oid.ok());
+  auto file = MFile::Open(sys_->volume()->context(), Oid(*oid));
+  ASSERT_TRUE(file.ok());
+  file->SetLinkCount(7);
+
+  auto report = RunFsck(sys_->volume());
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok());
+  EXPECT_GE(report->errors, 1u);
+}
+
+TEST_F(FsckTest, DetectsDanglingDirectoryEntry) {
+  Pxfs pxfs(client_->fs());
+  ASSERT_TRUE(pxfs.Create("/dangle").ok());
+  ASSERT_TRUE(pxfs.SyncAll().ok());
+
+  // Destroy the file's storage without removing the directory entry.
+  auto dir = Collection::Open(sys_->volume()->context(),
+                              sys_->tfs()->GetRoots().pxfs_root);
+  ASSERT_TRUE(dir.ok());
+  auto oid = dir->Lookup("dangle");
+  ASSERT_TRUE(oid.ok());
+  auto file = MFile::Open(sys_->volume()->context(), Oid(*oid));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file->Destroy().ok());
+
+  auto report = RunFsck(sys_->volume());
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok());
+}
+
+TEST_F(FsckTest, CountsOrphansAndPools) {
+  Pxfs pxfs(client_->fs());
+  ASSERT_TRUE(pxfs.Create("/will_orphan").ok());
+  auto fd = pxfs.Open("/will_orphan", kOpenRead);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(pxfs.Unlink("/will_orphan").ok());
+  ASSERT_TRUE(pxfs.SyncAll().ok());
+  // fd still open: the file sits in the orphan table.
+  auto report = RunFsck(sys_->volume());
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok()) << report->Summary();
+  EXPECT_EQ(report->orphans, 1u);
+  EXPECT_GT(report->pool_objects, 0u);  // the client's unconsumed pool
+  ASSERT_TRUE(pxfs.Close(*fd).ok());
+}
+
+}  // namespace
+}  // namespace aerie

@@ -1,0 +1,209 @@
+// Tests for the libFS client runtime: batching thresholds, pools, sync,
+// release-hook shipping, RPC accounting.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/libfs/system.h"
+
+namespace aerie {
+namespace {
+
+class LibFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AerieSystem::Options options;
+    options.region_bytes = 128ull << 20;
+    auto sys = AerieSystem::Create(options);
+    ASSERT_TRUE(sys.ok());
+    sys_ = std::move(*sys);
+  }
+
+  std::unique_ptr<AerieSystem> sys_;
+};
+
+MetaOp CreateFileOp(LibFs* fs, const std::string& name, Oid obj) {
+  MetaOp op;
+  op.type = MetaOpType::kCreateFile;
+  op.authority = fs->pxfs_root().lock_id();
+  op.dir = fs->pxfs_root();
+  op.name = name;
+  op.obj = obj;
+  return op;
+}
+
+TEST_F(LibFsTest, MountLearnsRoots) {
+  auto client = sys_->NewClient();
+  ASSERT_TRUE(client.ok());
+  EXPECT_EQ((*client)->fs()->pxfs_root(), sys_->tfs()->GetRoots().pxfs_root);
+  EXPECT_EQ((*client)->fs()->flat_root(), sys_->tfs()->GetRoots().flat_root);
+}
+
+TEST_F(LibFsTest, OpsBufferUntilSync) {
+  LibFs::Options no_flusher;
+  no_flusher.flush_interval_ms = 0;  // deterministic buffering for asserts
+  auto client = sys_->NewClient(no_flusher);
+  ASSERT_TRUE(client.ok());
+  LibFs* fs = (*client)->fs();
+  ASSERT_TRUE(fs->clerk()
+                  ->Acquire(fs->pxfs_root().lock_id(),
+                            LockMode::kExclusiveHier)
+                  .ok());
+  fs->clerk()->Release(fs->pxfs_root().lock_id());
+  auto pooled = fs->TakePooled(ObjType::kMFile);
+  ASSERT_TRUE(pooled.ok());
+  ASSERT_TRUE(fs->LogOp(CreateFileOp(fs, "buffered", *pooled)).ok());
+  EXPECT_EQ(fs->pending_ops(), 1u);
+  EXPECT_EQ(fs->batches_shipped(), 0u);
+
+  // Not yet visible in SCM.
+  auto dir = Collection::Open(fs->read_context(), fs->pxfs_root());
+  ASSERT_TRUE(dir.ok());
+  EXPECT_EQ(dir->Lookup("buffered").code(), ErrorCode::kNotFound);
+
+  ASSERT_TRUE(fs->Sync().ok());
+  EXPECT_EQ(fs->pending_ops(), 0u);
+  EXPECT_EQ(fs->batches_shipped(), 1u);
+  EXPECT_TRUE(dir->Lookup("buffered").ok());
+}
+
+TEST_F(LibFsTest, EagerShipOptionShipsEveryOp) {
+  LibFs::Options options;
+  options.eager_ship = true;
+  auto client = sys_->NewClient(options);
+  ASSERT_TRUE(client.ok());
+  LibFs* fs = (*client)->fs();
+  ASSERT_TRUE(fs->clerk()
+                  ->Acquire(fs->pxfs_root().lock_id(),
+                            LockMode::kExclusiveHier)
+                  .ok());
+  fs->clerk()->Release(fs->pxfs_root().lock_id());
+  for (int i = 0; i < 3; ++i) {
+    auto pooled = fs->TakePooled(ObjType::kMFile);
+    ASSERT_TRUE(pooled.ok());
+    ASSERT_TRUE(
+        fs->LogOp(CreateFileOp(fs, "eager" + std::to_string(i), *pooled))
+            .ok());
+  }
+  EXPECT_EQ(fs->batches_shipped(), 3u);
+  EXPECT_EQ(fs->pending_ops(), 0u);
+}
+
+TEST_F(LibFsTest, BatchShipsWhenThresholdCrossed) {
+  LibFs::Options options;
+  options.batch_max_bytes = 1024;  // tiny threshold
+  options.flush_interval_ms = 0;   // synchronous threshold shipping
+  auto client = sys_->NewClient(options);
+  ASSERT_TRUE(client.ok());
+  LibFs* fs = (*client)->fs();
+  ASSERT_TRUE(fs->clerk()
+                  ->Acquire(fs->pxfs_root().lock_id(),
+                            LockMode::kExclusiveHier)
+                  .ok());
+  fs->clerk()->Release(fs->pxfs_root().lock_id());
+  for (int i = 0; i < 20; ++i) {
+    auto pooled = fs->TakePooled(ObjType::kMFile);
+    ASSERT_TRUE(pooled.ok());
+    ASSERT_TRUE(
+        fs->LogOp(CreateFileOp(fs, "thresh" + std::to_string(i), *pooled))
+            .ok());
+  }
+  EXPECT_GT(fs->batches_shipped(), 0u);
+}
+
+TEST_F(LibFsTest, ReleaseHookShipsBatchBeforeLockLeaves) {
+  LibFs::Options no_flusher;
+  no_flusher.flush_interval_ms = 0;
+  auto c1 = sys_->NewClient(no_flusher);
+  auto c2 = sys_->NewClient(no_flusher);
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  LibFs* fs1 = (*c1)->fs();
+  LibFs* fs2 = (*c2)->fs();
+
+  ASSERT_TRUE(fs1->clerk()
+                  ->Acquire(fs1->pxfs_root().lock_id(),
+                            LockMode::kExclusiveHier)
+                  .ok());
+  fs1->clerk()->Release(fs1->pxfs_root().lock_id());
+  auto pooled = fs1->TakePooled(ObjType::kMFile);
+  ASSERT_TRUE(pooled.ok());
+  ASSERT_TRUE(fs1->LogOp(CreateFileOp(fs1, "handoff", *pooled)).ok());
+  fs1->clerk()->Release(fs1->pxfs_root().lock_id());
+  EXPECT_EQ(fs1->pending_ops(), 1u);  // still cached, nothing shipped
+
+  // Client 2 takes the lock: revocation forces client 1 to ship first.
+  ASSERT_TRUE(fs2->clerk()
+                  ->Acquire(fs2->pxfs_root().lock_id(), LockMode::kShared)
+                  .ok());
+  EXPECT_EQ(fs1->pending_ops(), 0u);
+  auto dir = Collection::Open(fs2->read_context(), fs2->pxfs_root());
+  ASSERT_TRUE(dir.ok());
+  EXPECT_TRUE(dir->Lookup("handoff").ok());
+  fs2->clerk()->Release(fs2->pxfs_root().lock_id());
+}
+
+TEST_F(LibFsTest, PoolRefillKeepsRpcRare) {
+  LibFs::Options options;
+  options.pool_refill = 100;
+  auto client = sys_->NewClient(options);
+  ASSERT_TRUE(client.ok());
+  LibFs* fs = (*client)->fs();
+  const uint64_t calls_before = (*client)->transport()->calls_made();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(fs->TakePooled(ObjType::kExtent).ok());
+  }
+  // 100 takes should have cost exactly one RPC.
+  EXPECT_EQ((*client)->transport()->calls_made(), calls_before + 1);
+}
+
+TEST_F(LibFsTest, PooledObjectsAreDistinct) {
+  auto client = sys_->NewClient();
+  ASSERT_TRUE(client.ok());
+  LibFs* fs = (*client)->fs();
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 50; ++i) {
+    auto oid = fs->TakePooled(ObjType::kMFile);
+    ASSERT_TRUE(oid.ok());
+    EXPECT_TRUE(seen.insert(oid->raw()).second);
+    EXPECT_EQ(oid->type(), ObjType::kMFile);
+  }
+}
+
+TEST_F(LibFsTest, SingleExtentPoolRespectsCapacity) {
+  auto client = sys_->NewClient();
+  ASSERT_TRUE(client.ok());
+  LibFs* fs = (*client)->fs();
+  auto oid = fs->TakePooled(ObjType::kMFile, 32 << 10);
+  ASSERT_TRUE(oid.ok());
+  auto file = MFile::Open(fs->read_context(), *oid);
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE(file->single_extent());
+  EXPECT_GE(file->capacity(), 32u << 10);
+}
+
+TEST_F(LibFsTest, UdsTransportWorksEndToEnd) {
+  AerieSystem::Options options;
+  options.region_bytes = 128ull << 20;
+  options.uds_path = ::testing::TempDir() + "/aerie_libfs_uds.sock";
+  auto sys = AerieSystem::Create(options);
+  ASSERT_TRUE(sys.ok());
+  auto client = (*sys)->NewUdsClient(LibFs::Options{});
+  ASSERT_TRUE(client.ok());
+  LibFs* fs = (*client)->fs();
+  ASSERT_TRUE(fs->clerk()
+                  ->Acquire(fs->pxfs_root().lock_id(),
+                            LockMode::kExclusiveHier)
+                  .ok());
+  fs->clerk()->Release(fs->pxfs_root().lock_id());
+  auto pooled = fs->TakePooled(ObjType::kMFile);
+  ASSERT_TRUE(pooled.ok());
+  ASSERT_TRUE(fs->LogOp(CreateFileOp(fs, "over-uds", *pooled)).ok());
+  ASSERT_TRUE(fs->Sync().ok());
+  auto dir = Collection::Open(fs->read_context(), fs->pxfs_root());
+  ASSERT_TRUE(dir.ok());
+  EXPECT_TRUE(dir->Lookup("over-uds").ok());
+}
+
+}  // namespace
+}  // namespace aerie

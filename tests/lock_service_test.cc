@@ -1,0 +1,202 @@
+// Tests for the lock service: mode compatibility, grants, upgrades,
+// revocation upcalls, lease expiry, RPC wiring.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/lock/lock_service.h"
+#include "src/rpc/inproc.h"
+
+namespace aerie {
+namespace {
+
+class RecordingSink : public RevocationSink {
+ public:
+  void OnRevoke(LockId id, LockMode) override {
+    revoked_ids.push_back(id);
+    revokes++;
+  }
+  void OnLeaseExpired() override { lease_expired = true; }
+
+  std::atomic<int> revokes{0};
+  std::vector<LockId> revoked_ids;
+  std::atomic<bool> lease_expired{false};
+};
+
+TEST(LockModeTest, CompatibilityMatrix) {
+  using enum LockMode;
+  // S/S compatible; X conflicts with everything but intents with intents.
+  EXPECT_TRUE(LockCompatible(kShared, kShared));
+  EXPECT_TRUE(LockCompatible(kShared, kIntentShared));
+  // Explicit locks cover only the object: intents coexist with them.
+  EXPECT_TRUE(LockCompatible(kShared, kIntentExclusive));
+  EXPECT_FALSE(LockCompatible(kShared, kExclusive));
+  EXPECT_TRUE(LockCompatible(kIntentShared, kIntentExclusive));
+  EXPECT_TRUE(LockCompatible(kIntentExclusive, kIntentExclusive));
+  EXPECT_TRUE(LockCompatible(kExclusive, kIntentShared));
+  // Hierarchical modes cover the subtree: they do conflict with intents.
+  EXPECT_FALSE(LockCompatible(kSharedHier, kIntentExclusive));
+  EXPECT_FALSE(LockCompatible(kExclusiveHier, kIntentShared));
+  // Hierarchical modes behave like their base for compatibility.
+  EXPECT_TRUE(LockCompatible(kSharedHier, kShared));
+  EXPECT_FALSE(LockCompatible(kExclusiveHier, kShared));
+}
+
+TEST(LockModeTest, CoversAndStrengthen) {
+  using enum LockMode;
+  EXPECT_TRUE(LockModeCovers(kExclusiveHier, kShared));
+  EXPECT_TRUE(LockModeCovers(kExclusive, kShared));
+  EXPECT_FALSE(LockModeCovers(kShared, kExclusive));
+  EXPECT_TRUE(LockModeCovers(kSharedHier, kShared));
+  EXPECT_FALSE(LockModeCovers(kShared, kSharedHier));
+  EXPECT_EQ(LockModeStrengthen(kShared, kIntentExclusive), kExclusive);
+  EXPECT_EQ(LockModeStrengthen(kSharedHier, kExclusive), kExclusiveHier);
+  EXPECT_EQ(LockModeStrengthen(kShared, kExclusive), kExclusive);
+  EXPECT_EQ(LockModeStrengthen(kIntentShared, kIntentExclusive),
+            kIntentExclusive);
+}
+
+TEST(LockModeTest, HierCovers) {
+  using enum LockMode;
+  EXPECT_TRUE(HierCovers(kExclusiveHier, kExclusive));
+  EXPECT_TRUE(HierCovers(kExclusiveHier, kShared));
+  EXPECT_TRUE(HierCovers(kSharedHier, kShared));
+  EXPECT_FALSE(HierCovers(kSharedHier, kExclusive));
+  EXPECT_FALSE(HierCovers(kShared, kShared));
+  EXPECT_FALSE(HierCovers(kExclusive, kShared));
+}
+
+class LockServiceTest : public ::testing::Test {
+ protected:
+  LockServiceTest() {
+    LockService::Options options;
+    options.lease_ms = 60000;  // effectively disabled unless forced
+    options.wait_timeout_ms = 300;
+    service_ = std::make_unique<LockService>(options);
+    service_->RegisterClient(1, &sink1_);
+    service_->RegisterClient(2, &sink2_);
+  }
+
+  std::unique_ptr<LockService> service_;
+  RecordingSink sink1_, sink2_;
+};
+
+TEST_F(LockServiceTest, SharedGrantsCoexist) {
+  EXPECT_TRUE(service_->Acquire(1, 100, LockMode::kShared, false).ok());
+  EXPECT_TRUE(service_->Acquire(2, 100, LockMode::kShared, false).ok());
+  EXPECT_EQ(service_->HeldMode(1, 100), LockMode::kShared);
+  EXPECT_EQ(service_->HeldMode(2, 100), LockMode::kShared);
+}
+
+TEST_F(LockServiceTest, ExclusiveConflictsTryLock) {
+  EXPECT_TRUE(service_->Acquire(1, 100, LockMode::kExclusive, false).ok());
+  EXPECT_EQ(service_->Acquire(2, 100, LockMode::kShared, false).code(),
+            ErrorCode::kLockConflict);
+  EXPECT_EQ(service_->HeldMode(2, 100), LockMode::kFree);
+}
+
+TEST_F(LockServiceTest, ReacquireIsIdempotent) {
+  EXPECT_TRUE(service_->Acquire(1, 100, LockMode::kExclusive, false).ok());
+  EXPECT_TRUE(service_->Acquire(1, 100, LockMode::kShared, false).ok());
+  EXPECT_EQ(service_->HeldMode(1, 100), LockMode::kExclusive);
+}
+
+TEST_F(LockServiceTest, UpgradeSharedToExclusive) {
+  EXPECT_TRUE(service_->Acquire(1, 100, LockMode::kShared, false).ok());
+  EXPECT_TRUE(service_->Acquire(1, 100, LockMode::kExclusive, false).ok());
+  EXPECT_EQ(service_->HeldMode(1, 100), LockMode::kExclusive);
+}
+
+TEST_F(LockServiceTest, ReleaseUnblocksWaiter) {
+  ASSERT_TRUE(service_->Acquire(1, 100, LockMode::kExclusive, false).ok());
+  std::thread waiter([&] {
+    EXPECT_TRUE(service_->Acquire(2, 100, LockMode::kExclusive, true).ok());
+  });
+  // Give the waiter time to block, then release.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_TRUE(service_->Release(1, 100).ok());
+  waiter.join();
+  EXPECT_EQ(service_->HeldMode(2, 100), LockMode::kExclusive);
+}
+
+TEST_F(LockServiceTest, RevocationUpcallSentToConflictingHolder) {
+  ASSERT_TRUE(service_->Acquire(1, 100, LockMode::kExclusive, false).ok());
+  std::thread waiter([&] {
+    // Will block until client 1 releases in response to the upcall.
+    EXPECT_TRUE(service_->Acquire(2, 100, LockMode::kShared, true).ok());
+  });
+  while (sink1_.revokes.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(service_->Release(1, 100).ok());
+  waiter.join();
+  EXPECT_GE(sink1_.revokes.load(), 1);
+  EXPECT_EQ(sink1_.revoked_ids[0], 100u);
+}
+
+TEST_F(LockServiceTest, WaitTimesOutAsConflict) {
+  ASSERT_TRUE(service_->Acquire(1, 100, LockMode::kExclusive, false).ok());
+  EXPECT_EQ(service_->Acquire(2, 100, LockMode::kExclusive, true).code(),
+            ErrorCode::kLockConflict);
+}
+
+TEST_F(LockServiceTest, ExpiredLeaseImplicitlyReleases) {
+  ASSERT_TRUE(service_->Acquire(1, 100, LockMode::kExclusive, false).ok());
+  service_->ExpireLeaseForTesting(1);
+  // Client 2 can take the lock; client 1's sink learns its lease died.
+  EXPECT_TRUE(service_->Acquire(2, 100, LockMode::kExclusive, true).ok());
+  EXPECT_TRUE(sink1_.lease_expired.load());
+  EXPECT_EQ(service_->HeldMode(1, 100), LockMode::kFree);
+  EXPECT_FALSE(service_->LeaseValid(1));
+}
+
+TEST_F(LockServiceTest, RenewKeepsLeaseValid) {
+  EXPECT_TRUE(service_->Renew(1).ok());
+  EXPECT_TRUE(service_->LeaseValid(1));
+  EXPECT_EQ(service_->Renew(99).code(), ErrorCode::kUnavailable);
+}
+
+TEST_F(LockServiceTest, UnregisterDropsAllLocks) {
+  ASSERT_TRUE(service_->Acquire(1, 100, LockMode::kExclusive, false).ok());
+  ASSERT_TRUE(service_->Acquire(1, 101, LockMode::kShared, false).ok());
+  service_->UnregisterClient(1);
+  EXPECT_TRUE(service_->Acquire(2, 100, LockMode::kExclusive, false).ok());
+  EXPECT_TRUE(service_->Acquire(2, 101, LockMode::kExclusive, false).ok());
+}
+
+TEST_F(LockServiceTest, DowngradeWeakensHeldMode) {
+  ASSERT_TRUE(
+      service_->Acquire(1, 100, LockMode::kExclusiveHier, false).ok());
+  EXPECT_TRUE(
+      service_->Downgrade(1, 100, LockMode::kIntentExclusive).ok());
+  EXPECT_EQ(service_->HeldMode(1, 100), LockMode::kIntentExclusive);
+  // IX coexists with another IX.
+  EXPECT_TRUE(
+      service_->Acquire(2, 100, LockMode::kIntentExclusive, false).ok());
+  // Upgrading beyond held mode via Downgrade is rejected.
+  EXPECT_EQ(service_->Downgrade(1, 100, LockMode::kExclusive).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(LockServiceTest, ReleaseOfUnheldLockFails) {
+  EXPECT_EQ(service_->Release(1, 999).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(LockServiceTest, RpcRoundTrip) {
+  RpcDispatcher dispatcher;
+  service_->RegisterRpc(&dispatcher);
+  InprocTransport transport(&dispatcher, 1);
+  RemoteLockService remote(&transport);
+  EXPECT_TRUE(remote.Acquire(55, LockMode::kExclusive, true).ok());
+  EXPECT_EQ(service_->HeldMode(1, 55), LockMode::kExclusive);
+  EXPECT_TRUE(remote.Downgrade(55, LockMode::kShared).ok());
+  EXPECT_EQ(service_->HeldMode(1, 55), LockMode::kShared);
+  EXPECT_TRUE(remote.Renew().ok());
+  EXPECT_TRUE(remote.Release(55).ok());
+  EXPECT_EQ(service_->HeldMode(1, 55), LockMode::kFree);
+}
+
+}  // namespace
+}  // namespace aerie

@@ -1,0 +1,61 @@
+// Tests for OID encoding (paper §5.3.1).
+#include <gtest/gtest.h>
+
+#include "src/osd/oid.h"
+
+namespace aerie {
+namespace {
+
+TEST(OidTest, EncodeDecodeRoundTrip) {
+  const Oid oid = Oid::Make(ObjType::kMFile, 0x123400);
+  EXPECT_EQ(oid.type(), ObjType::kMFile);
+  EXPECT_EQ(oid.offset(), 0x123400u);
+  EXPECT_FALSE(oid.IsNull());
+}
+
+TEST(OidTest, NullOid) {
+  Oid oid;
+  EXPECT_TRUE(oid.IsNull());
+  EXPECT_EQ(oid.type(), ObjType::kNone);
+  EXPECT_EQ(oid.offset(), 0u);
+}
+
+TEST(OidTest, MinimumObjectSizeIs64Bytes) {
+  // Offsets are 64-byte granular: the low 6 bits carry the type.
+  const Oid a = Oid::Make(ObjType::kCollection, 64);
+  const Oid b = Oid::Make(ObjType::kCollection, 128);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.offset(), 64u);
+  EXPECT_EQ(b.offset(), 128u);
+}
+
+TEST(OidTest, LargeOffsetsPreserved) {
+  const uint64_t offset = (1ull << 45) + 4096;  // beyond 32-bit range
+  const Oid oid = Oid::Make(ObjType::kExtent, offset);
+  EXPECT_EQ(oid.offset(), offset);
+  EXPECT_EQ(oid.type(), ObjType::kExtent);
+}
+
+TEST(OidTest, LockIdEqualsRawAndIsUniquePerObject) {
+  const Oid a = Oid::Make(ObjType::kMFile, 4096);
+  const Oid b = Oid::Make(ObjType::kCollection, 4096);
+  EXPECT_EQ(a.lock_id(), a.raw());
+  EXPECT_NE(a.lock_id(), b.lock_id());  // type participates
+}
+
+TEST(OidTest, SixtyFourTypesEncodable) {
+  for (int t = 0; t < 64; ++t) {
+    const Oid oid = Oid::Make(static_cast<ObjType>(t), 1 << 20);
+    EXPECT_EQ(static_cast<int>(oid.type()), t);
+    EXPECT_EQ(oid.offset(), 1u << 20);
+  }
+}
+
+TEST(OidTest, RawRoundTrip) {
+  const Oid oid = Oid::Make(ObjType::kPoolTable, 123456 * 64);
+  const Oid copy(oid.raw());
+  EXPECT_EQ(copy, oid);
+}
+
+}  // namespace
+}  // namespace aerie

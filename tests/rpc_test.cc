@@ -1,0 +1,168 @@
+// Tests for the RPC layer: wire format, dispatcher, in-process and
+// Unix-domain-socket transports.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/rpc/inproc.h"
+#include "src/rpc/socket.h"
+#include "src/rpc/wire.h"
+
+namespace aerie {
+namespace {
+
+TEST(WireTest, RoundTripScalarsAndStrings) {
+  WireBuffer buf;
+  buf.AppendU8(7);
+  buf.AppendU16(300);
+  buf.AppendU32(70000);
+  buf.AppendU64(1ull << 40);
+  buf.AppendI64(-12345);
+  buf.AppendString("hello world");
+  buf.AppendString("");
+
+  WireReader r(buf.data());
+  EXPECT_EQ(*r.ReadU8(), 7);
+  EXPECT_EQ(*r.ReadU16(), 300);
+  EXPECT_EQ(*r.ReadU32(), 70000u);
+  EXPECT_EQ(*r.ReadU64(), 1ull << 40);
+  EXPECT_EQ(*r.ReadI64(), -12345);
+  EXPECT_EQ(*r.ReadString(), "hello world");
+  EXPECT_EQ(*r.ReadString(), "");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireTest, ShortBufferRejected) {
+  WireBuffer buf;
+  buf.AppendU32(5);
+  WireReader r(buf.data());
+  EXPECT_FALSE(r.ReadU64().ok());
+}
+
+TEST(WireTest, OversizedStringLengthRejected) {
+  WireBuffer buf;
+  buf.AppendU32(1000);  // claims 1000 bytes, provides none
+  WireReader r(buf.data());
+  EXPECT_EQ(r.ReadString().status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(DispatcherTest, RoutesByMethodAndPassesClientId) {
+  RpcDispatcher dispatcher;
+  dispatcher.Register(
+      1, [](uint64_t client, std::string_view req) -> Result<std::string> {
+        return std::to_string(client) + ":" + std::string(req);
+      });
+  auto resp = dispatcher.Dispatch(42, 1, "ping");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(*resp, "42:ping");
+  EXPECT_EQ(dispatcher.Dispatch(42, 99, "x").code(),
+            ErrorCode::kNotSupported);
+}
+
+TEST(InprocTest, CallsAndErrorsPropagate) {
+  RpcDispatcher dispatcher;
+  dispatcher.Register(
+      5, [](uint64_t, std::string_view req) -> Result<std::string> {
+        if (req == "fail") {
+          return Status(ErrorCode::kBusy, "try later");
+        }
+        return std::string(req) + "!";
+      });
+  InprocTransport t(&dispatcher, 7);
+  auto ok = t.Call(5, "hi");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, "hi!");
+  EXPECT_EQ(t.Call(5, "fail").code(), ErrorCode::kBusy);
+  EXPECT_EQ(t.calls_made(), 2u);
+  EXPECT_EQ(t.client_id(), 7u);
+}
+
+class UdsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/aerie_rpc_test.sock";
+    dispatcher_.Register(
+        1, [](uint64_t client, std::string_view req) -> Result<std::string> {
+          return std::to_string(client) + "/" + std::string(req);
+        });
+    dispatcher_.Register(
+        2, [](uint64_t, std::string_view) -> Result<std::string> {
+          return Status(ErrorCode::kNotFound, "nothing here");
+        });
+    auto server = UdsServer::Start(path_, &dispatcher_);
+    ASSERT_TRUE(server.ok());
+    server_ = std::move(*server);
+  }
+
+  std::string path_;
+  RpcDispatcher dispatcher_;
+  std::unique_ptr<UdsServer> server_;
+};
+
+TEST_F(UdsTest, CallOverSocket) {
+  auto transport = UdsTransport::Connect(path_);
+  ASSERT_TRUE(transport.ok());
+  auto resp = (*transport)->Call(1, "hello");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(*resp, std::to_string((*transport)->client_id()) + "/hello");
+}
+
+TEST_F(UdsTest, ErrorStatusRoundTrips) {
+  auto transport = UdsTransport::Connect(path_);
+  ASSERT_TRUE(transport.ok());
+  auto resp = (*transport)->Call(2, "");
+  EXPECT_EQ(resp.code(), ErrorCode::kNotFound);
+}
+
+TEST_F(UdsTest, DistinctClientsGetDistinctSessionIds) {
+  auto a = UdsTransport::Connect(path_);
+  auto b = UdsTransport::Connect(path_);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE((*a)->client_id(), (*b)->client_id());
+}
+
+TEST_F(UdsTest, ConcurrentClients) {
+  constexpr int kClients = 4;
+  constexpr int kCallsEach = 50;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&] {
+      auto transport = UdsTransport::Connect(path_);
+      if (!transport.ok()) {
+        failures++;
+        return;
+      }
+      for (int i = 0; i < kCallsEach; ++i) {
+        auto resp = (*transport)->Call(1, "m" + std::to_string(i));
+        const std::string want = std::to_string((*transport)->client_id()) +
+                                 "/m" + std::to_string(i);
+        if (!resp.ok() || *resp != want) {
+          failures++;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(UdsTest, LargePayloadRoundTrips) {
+  dispatcher_.Register(
+      3, [](uint64_t, std::string_view req) -> Result<std::string> {
+        return std::string(req);
+      });
+  auto transport = UdsTransport::Connect(path_);
+  ASSERT_TRUE(transport.ok());
+  std::string big(1 << 20, 'z');
+  auto resp = (*transport)->Call(3, big);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(*resp, big);
+}
+
+}  // namespace
+}  // namespace aerie

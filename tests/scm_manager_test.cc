@@ -1,0 +1,168 @@
+// Tests for the SCM manager: partitions, extents, ACL protection, soft
+// page-table faults, persistence across remount.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "src/scm/manager.h"
+
+namespace aerie {
+namespace {
+
+class ScmManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto region = ScmRegion::CreateAnonymous(64 << 20);
+    ASSERT_TRUE(region.ok());
+    region_ = std::move(*region);
+    ScmManager::Options options;
+    options.max_partitions = 8;
+    options.max_extents = 1024;
+    auto mgr = ScmManager::Format(region_.get(), options);
+    ASSERT_TRUE(mgr.ok());
+    mgr_ = std::move(*mgr);
+  }
+
+  std::unique_ptr<ScmRegion> region_;
+  std::unique_ptr<ScmManager> mgr_;
+};
+
+TEST_F(ScmManagerTest, AclEncoding) {
+  const uint32_t acl = MakeAcl(1234, kAclRightRead | kAclRightWrite);
+  EXPECT_EQ(AclGid(acl), 1234u);
+  EXPECT_EQ(AclRights(acl), 3u);
+}
+
+TEST_F(ScmManagerTest, AllocatePartitionFirstFit) {
+  auto p1 = mgr_->AllocatePartition(1 << 20, MakeAcl(0, 3));
+  ASSERT_TRUE(p1.ok());
+  auto p2 = mgr_->AllocatePartition(1 << 20, MakeAcl(0, 3));
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p2->offset, p1->offset + p1->size);
+  EXPECT_EQ(mgr_->ListPartitions().size(), 2u);
+}
+
+TEST_F(ScmManagerTest, PartitionExhaustion) {
+  auto p = mgr_->AllocatePartition(region_->size() * 2, MakeAcl(0, 3));
+  EXPECT_EQ(p.code(), ErrorCode::kOutOfSpace);
+}
+
+TEST_F(ScmManagerTest, PartitionsSurviveRemount) {
+  auto p1 = mgr_->AllocatePartition(1 << 20, MakeAcl(7, 3));
+  ASSERT_TRUE(p1.ok());
+  auto remounted = ScmManager::Mount(region_.get());
+  ASSERT_TRUE(remounted.ok());
+  auto parts = (*remounted)->ListPartitions();
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].offset, p1->offset);
+  EXPECT_EQ(AclGid(parts[0].acl), 7u);
+}
+
+TEST_F(ScmManagerTest, ExtentCreateAndOverlapRejected) {
+  const uint64_t base = mgr_->data_start();
+  ASSERT_TRUE(mgr_->CreateExtent(base, 4 * kScmPageSize, MakeAcl(1, 3)).ok());
+  // Overlapping attempts fail.
+  EXPECT_EQ(mgr_->CreateExtent(base, kScmPageSize, MakeAcl(1, 3)).code(),
+            ErrorCode::kAlreadyExists);
+  EXPECT_EQ(mgr_->CreateExtent(base + kScmPageSize, kScmPageSize,
+                               MakeAcl(1, 3))
+                .code(),
+            ErrorCode::kAlreadyExists);
+  // Adjacent is fine.
+  EXPECT_TRUE(mgr_->CreateExtent(base + 4 * kScmPageSize, kScmPageSize,
+                                 MakeAcl(1, 3))
+                  .ok());
+  EXPECT_EQ(mgr_->extent_count(), 2u);
+}
+
+TEST_F(ScmManagerTest, ExtentBadArgsRejected) {
+  EXPECT_EQ(mgr_->CreateExtent(123, kScmPageSize, 0).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(mgr_->CreateExtent(mgr_->data_start(), 100, 0).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(ScmManagerTest, AccessCheckEnforcesGidAndRights) {
+  const uint64_t base = mgr_->data_start();
+  ASSERT_TRUE(
+      mgr_->CreateExtent(base, kScmPageSize, MakeAcl(5, kAclRightRead)).ok());
+
+  ProcessContext in_group({5});
+  ProcessContext out_group({6});
+  EXPECT_TRUE(mgr_->CheckAccess(in_group, base, 100, kAclRightRead).ok());
+  EXPECT_EQ(mgr_->CheckAccess(in_group, base, 100, kAclRightWrite).code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_EQ(mgr_->CheckAccess(out_group, base, 100, kAclRightRead).code(),
+            ErrorCode::kPermissionDenied);
+  // Uncovered range.
+  EXPECT_EQ(
+      mgr_->CheckAccess(in_group, base + kScmPageSize, 8, kAclRightRead)
+          .code(),
+      ErrorCode::kPermissionDenied);
+}
+
+TEST_F(ScmManagerTest, SoftFaultsPopulateAndProtectionChangeInvalidates) {
+  const uint64_t base = mgr_->data_start();
+  ASSERT_TRUE(
+      mgr_->CreateExtent(base, 4 * kScmPageSize, MakeAcl(0, 3)).ok());
+  ProcessContext ctx({0});
+  mgr_->RegisterContext(&ctx);
+
+  // First touch faults each page once; second touch is free.
+  ASSERT_TRUE(mgr_->TouchRange(&ctx, base, 4 * kScmPageSize, 1).ok());
+  EXPECT_EQ(ctx.soft_faults(), 4u);
+  ASSERT_TRUE(mgr_->TouchRange(&ctx, base, 4 * kScmPageSize, 1).ok());
+  EXPECT_EQ(ctx.soft_faults(), 4u);
+  EXPECT_TRUE(ctx.IsMapped(base / kScmPageSize));
+
+  // Protection change invalidates soft PTEs; refaulting checks new rights.
+  ASSERT_TRUE(mgr_->MprotectExtent(base, MakeAcl(0, kAclRightRead)).ok());
+  EXPECT_FALSE(ctx.IsMapped(base / kScmPageSize));
+  EXPECT_EQ(mgr_->pages_invalidated(), 4u);
+  EXPECT_EQ(mgr_->TouchRange(&ctx, base, kScmPageSize, kAclRightWrite).code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_TRUE(mgr_->TouchRange(&ctx, base, kScmPageSize, kAclRightRead).ok());
+
+  mgr_->UnregisterContext(&ctx);
+}
+
+TEST_F(ScmManagerTest, ExtentsSurviveRemount) {
+  const uint64_t base = mgr_->data_start();
+  ASSERT_TRUE(mgr_->CreateExtent(base, kScmPageSize, MakeAcl(9, 1)).ok());
+  auto remounted = ScmManager::Mount(region_.get());
+  ASSERT_TRUE(remounted.ok());
+  auto extent = (*remounted)->FindExtent(base + 100);
+  ASSERT_TRUE(extent.ok());
+  EXPECT_EQ(AclGid(extent->acl), 9u);
+}
+
+TEST_F(ScmManagerTest, DestroyExtentFreesSlot) {
+  const uint64_t base = mgr_->data_start();
+  ASSERT_TRUE(mgr_->CreateExtent(base, kScmPageSize, 0).ok());
+  ASSERT_TRUE(mgr_->DestroyExtent(base).ok());
+  EXPECT_EQ(mgr_->FindExtent(base).code(), ErrorCode::kNotFound);
+  // Slot is reusable.
+  EXPECT_TRUE(mgr_->CreateExtent(base, kScmPageSize, 0).ok());
+}
+
+TEST_F(ScmManagerTest, MountPartitionReturnsLinearMapping) {
+  auto p = mgr_->AllocatePartition(1 << 20, MakeAcl(0, 3));
+  ASSERT_TRUE(p.ok());
+  ProcessContext ctx({0});
+  auto base = mgr_->MountPartition(&ctx, p->offset);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(*base, region_->PtrAt(p->offset));
+  EXPECT_EQ(mgr_->MountPartition(&ctx, 0xdead000).code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(ScmManagerFormatTest, MountRejectsUnformattedRegion) {
+  auto region = ScmRegion::CreateAnonymous(1 << 20);
+  ASSERT_TRUE(region.ok());
+  std::memset((*region)->base(), 0, 4096);
+  EXPECT_EQ(ScmManager::Mount(region->get()).code(), ErrorCode::kCorrupted);
+}
+
+}  // namespace
+}  // namespace aerie

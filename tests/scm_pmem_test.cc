@@ -1,0 +1,112 @@
+// Tests for the SCM emulation: region mapping, persistence primitives,
+// latency model, file-backed reopen (simulated reboot).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/common/clock.h"
+#include "src/scm/pmem.h"
+
+namespace aerie {
+namespace {
+
+TEST(ScmRegionTest, AnonymousCreateAndAccess) {
+  auto region = ScmRegion::CreateAnonymous(1 << 20);
+  ASSERT_TRUE(region.ok());
+  ScmRegion* r = region->get();
+  EXPECT_EQ(r->size(), 1u << 20);
+  std::memset(r->base(), 0xab, 4096);
+  EXPECT_EQ(static_cast<unsigned char>(*r->PtrAt(100)), 0xab);
+}
+
+TEST(ScmRegionTest, OffsetPointerRoundTrip) {
+  auto region = ScmRegion::CreateAnonymous(1 << 20);
+  ASSERT_TRUE(region.ok());
+  ScmRegion* r = region->get();
+  char* p = r->PtrAt(12345);
+  EXPECT_EQ(r->OffsetOf(p), 12345u);
+  EXPECT_TRUE(r->Contains(p));
+  EXPECT_FALSE(r->Contains(r->base() + r->size()));
+}
+
+TEST(ScmRegionTest, FlushCountsLines) {
+  auto region = ScmRegion::CreateAnonymous(1 << 20);
+  ASSERT_TRUE(region.ok());
+  ScmRegion* r = region->get();
+  r->WlFlush(r->PtrAt(0), 1);  // one line
+  EXPECT_EQ(r->stats().lines_flushed.load(), 1u);
+  r->WlFlush(r->PtrAt(64), 128);  // two lines
+  EXPECT_EQ(r->stats().lines_flushed.load(), 3u);
+  // Unaligned span crossing a line boundary.
+  r->WlFlush(r->PtrAt(60), 8);  // covers lines 0 and 1
+  EXPECT_EQ(r->stats().lines_flushed.load(), 5u);
+}
+
+TEST(ScmRegionTest, StreamWriteChargedAtBFlush) {
+  auto region = ScmRegion::CreateAnonymous(1 << 20);
+  ASSERT_TRUE(region.ok());
+  ScmRegion* r = region->get();
+  char buf[256];
+  std::memset(buf, 7, sizeof(buf));
+  r->StreamWrite(r->PtrAt(0), buf, sizeof(buf));
+  EXPECT_EQ(r->stats().bytes_streamed.load(), 256u);
+  EXPECT_EQ(std::memcmp(r->PtrAt(0), buf, sizeof(buf)), 0);
+  const uint64_t lines_before = r->stats().lines_flushed.load();
+  r->BFlush();
+  EXPECT_EQ(r->stats().lines_flushed.load(), lines_before + 4);
+  // Second BFlush has nothing pending.
+  r->BFlush();
+  EXPECT_EQ(r->stats().lines_flushed.load(), lines_before + 4);
+}
+
+TEST(ScmRegionTest, WriteLatencyModelInjectsDelay) {
+  auto region = ScmRegion::CreateAnonymous(1 << 20);
+  ASSERT_TRUE(region.ok());
+  ScmRegion* r = region->get();
+  r->latency_model().set_write_ns(50000);  // 50us per line
+  Stopwatch sw;
+  r->WlFlush(r->PtrAt(0), 4 * kCacheLineSize);
+  const uint64_t elapsed = sw.ElapsedNanos();
+  EXPECT_GE(elapsed, 4 * 50000u);
+}
+
+TEST(ScmRegionTest, PersistU64IsVisible) {
+  auto region = ScmRegion::CreateAnonymous(1 << 20);
+  ASSERT_TRUE(region.ok());
+  ScmRegion* r = region->get();
+  auto* p = reinterpret_cast<uint64_t*>(r->PtrAt(512));
+  r->PersistU64(p, 0xdeadbeefcafeULL);
+  EXPECT_EQ(*p, 0xdeadbeefcafeULL);
+  EXPECT_GE(r->stats().fences.load(), 1u);
+}
+
+TEST(ScmRegionTest, FileBackedSurvivesReopen) {
+  const std::string path = ::testing::TempDir() + "/aerie_scm_reopen.img";
+  {
+    auto region = ScmRegion::OpenFileBacked(path, 1 << 20);
+    ASSERT_TRUE(region.ok());
+    std::memcpy((*region)->PtrAt(4096), "persist me", 10);
+    (*region)->WlFlush((*region)->PtrAt(4096), 10);
+  }
+  {
+    auto region = ScmRegion::OpenFileBacked(path, 1 << 20);
+    ASSERT_TRUE(region.ok());
+    EXPECT_EQ(std::memcmp((*region)->PtrAt(4096), "persist me", 10), 0);
+  }
+  ::unlink(path.c_str());
+}
+
+TEST(ScmRegionTest, HardProtectValidatesArguments) {
+  auto region = ScmRegion::CreateAnonymous(1 << 20);
+  ASSERT_TRUE(region.ok());
+  ScmRegion* r = region->get();
+  EXPECT_EQ(r->HardProtect(100, 4096, 1).code(),
+            ErrorCode::kInvalidArgument);  // unaligned
+  EXPECT_EQ(r->HardProtect(0, r->size() + 4096, 1).code(),
+            ErrorCode::kInvalidArgument);  // out of range
+  EXPECT_TRUE(r->HardProtect(4096, 4096, 1).ok());   // read-only
+  EXPECT_TRUE(r->HardProtect(4096, 4096, 3).ok());   // back to rw
+}
+
+}  // namespace
+}  // namespace aerie

@@ -1,0 +1,381 @@
+// Tests for the trusted service: op validation (locks, pools, invariants),
+// apply semantics, open-file table, pool lifecycle, service data path.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/libfs/system.h"
+
+namespace aerie {
+namespace {
+
+class TfsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AerieSystem::Options options;
+    options.region_bytes = 128ull << 20;
+    auto sys = AerieSystem::Create(options);
+    ASSERT_TRUE(sys.ok());
+    sys_ = std::move(*sys);
+    auto client = sys_->NewClient();
+    ASSERT_TRUE(client.ok());
+    client_ = std::move(*client);
+  }
+
+  void TearDown() override {
+    client_.reset();
+    sys_.reset();
+  }
+
+  // Builds a one-op batch blob.
+  static std::string OneOp(const MetaOp& op) { return EncodeBatch({op}); }
+
+  LibFs* fs() { return client_->fs(); }
+  TrustedFsService* tfs() { return sys_->tfs(); }
+  uint64_t cid() { return client_->id(); }
+
+  // Acquires XH on the PXFS root so any op under it validates.
+  void LockRootXH() {
+    ASSERT_TRUE(fs()->clerk()
+                    ->Acquire(fs()->pxfs_root().lock_id(),
+                              LockMode::kExclusiveHier)
+                    .ok());
+    // Local release: the global XH stays cached at the clerk, so the
+    // service still sees this client as the holder (authority persists).
+    fs()->clerk()->Release(fs()->pxfs_root().lock_id());
+  }
+
+  std::unique_ptr<AerieSystem> sys_;
+  std::unique_ptr<AerieSystem::Client> client_;
+};
+
+TEST_F(TfsTest, BootstrapCreatedRoots) {
+  auto roots = tfs()->GetRoots();
+  EXPECT_EQ(roots.pxfs_root.type(), ObjType::kCollection);
+  EXPECT_EQ(roots.flat_root.type(), ObjType::kCollection);
+  EXPECT_EQ(roots.pxfs_root, fs()->pxfs_root());
+}
+
+TEST_F(TfsTest, CreateFileAppliesUnderLock) {
+  LockRootXH();
+  auto pooled = fs()->TakePooled(ObjType::kMFile);
+  ASSERT_TRUE(pooled.ok());
+  MetaOp op;
+  op.type = MetaOpType::kCreateFile;
+  op.authority = fs()->pxfs_root().lock_id();
+  op.dir = fs()->pxfs_root();
+  op.name = "hello.txt";
+  op.obj = *pooled;
+  ASSERT_TRUE(tfs()->ApplyBatch(cid(), OneOp(op)).ok());
+
+  auto dir = Collection::Open(fs()->read_context(), fs()->pxfs_root());
+  ASSERT_TRUE(dir.ok());
+  EXPECT_EQ(*dir->Lookup("hello.txt"), pooled->raw());
+  auto file = MFile::Open(fs()->read_context(), *pooled);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file->link_count(), 1u);
+}
+
+TEST_F(TfsTest, OpRejectedWithoutWriteLock) {
+  auto pooled = fs()->TakePooled(ObjType::kMFile);
+  ASSERT_TRUE(pooled.ok());
+  MetaOp op;
+  op.type = MetaOpType::kCreateFile;
+  op.authority = fs()->pxfs_root().lock_id();  // claimed but not held
+  op.dir = fs()->pxfs_root();
+  op.name = "nope";
+  op.obj = *pooled;
+  EXPECT_EQ(tfs()->ApplyBatch(cid(), OneOp(op)).code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_EQ(tfs()->ops_rejected(), 1u);
+}
+
+TEST_F(TfsTest, OpRejectedWithReadLockOnly) {
+  ASSERT_TRUE(fs()->clerk()
+                  ->Acquire(fs()->pxfs_root().lock_id(), LockMode::kShared)
+                  .ok());
+  fs()->clerk()->Release(fs()->pxfs_root().lock_id());
+  auto pooled = fs()->TakePooled(ObjType::kMFile);
+  ASSERT_TRUE(pooled.ok());
+  MetaOp op;
+  op.type = MetaOpType::kCreateFile;
+  op.authority = fs()->pxfs_root().lock_id();
+  op.dir = fs()->pxfs_root();
+  op.name = "nope";
+  op.obj = *pooled;
+  EXPECT_EQ(tfs()->ApplyBatch(cid(), OneOp(op)).code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST_F(TfsTest, ObjectNotInPoolRejected) {
+  LockRootXH();
+  MetaOp op;
+  op.type = MetaOpType::kCreateFile;
+  op.authority = fs()->pxfs_root().lock_id();
+  op.dir = fs()->pxfs_root();
+  op.name = "forged";
+  // A forged OID pointing into the region but never pooled.
+  op.obj = Oid::Make(ObjType::kMFile, sys_->partition_offset() + (4 << 20));
+  EXPECT_EQ(tfs()->ApplyBatch(cid(), OneOp(op)).code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST_F(TfsTest, AnotherClientsPoolObjectRejected) {
+  auto other = sys_->NewClient();
+  ASSERT_TRUE(other.ok());
+  auto stolen = (*other)->fs()->TakePooled(ObjType::kMFile);
+  ASSERT_TRUE(stolen.ok());
+  LockRootXH();
+  MetaOp op;
+  op.type = MetaOpType::kCreateFile;
+  op.authority = fs()->pxfs_root().lock_id();
+  op.dir = fs()->pxfs_root();
+  op.name = "stolen";
+  op.obj = *stolen;
+  EXPECT_EQ(tfs()->ApplyBatch(cid(), OneOp(op)).code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST_F(TfsTest, DuplicateNameRejected) {
+  LockRootXH();
+  for (int i = 0; i < 2; ++i) {
+    auto pooled = fs()->TakePooled(ObjType::kMFile);
+    ASSERT_TRUE(pooled.ok());
+    MetaOp op;
+    op.type = MetaOpType::kCreateFile;
+    op.authority = fs()->pxfs_root().lock_id();
+    op.dir = fs()->pxfs_root();
+    op.name = "dup";
+    op.obj = *pooled;
+    Status st = tfs()->ApplyBatch(cid(), OneOp(op));
+    if (i == 0) {
+      EXPECT_TRUE(st.ok());
+    } else {
+      EXPECT_EQ(st.code(), ErrorCode::kAlreadyExists);
+    }
+  }
+}
+
+TEST_F(TfsTest, MalformedBatchRejected) {
+  EXPECT_EQ(tfs()->ApplyBatch(cid(), "garbage-bytes").code(),
+            ErrorCode::kInvalidArgument);
+  // A structurally valid batch with trailing junk is also rejected.
+  MetaOp op;
+  op.type = MetaOpType::kSetSize;
+  std::string blob = EncodeBatch({op});
+  blob += "junk";
+  EXPECT_EQ(tfs()->ApplyBatch(cid(), blob).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(TfsTest, UnlinkFreesStorageWhenNotOpen) {
+  LockRootXH();
+  auto pooled = fs()->TakePooled(ObjType::kMFile);
+  ASSERT_TRUE(pooled.ok());
+  MetaOp create;
+  create.type = MetaOpType::kCreateFile;
+  create.authority = fs()->pxfs_root().lock_id();
+  create.dir = fs()->pxfs_root();
+  create.name = "victim";
+  create.obj = *pooled;
+  ASSERT_TRUE(tfs()->ApplyBatch(cid(), OneOp(create)).ok());
+
+  MetaOp unlink;
+  unlink.type = MetaOpType::kUnlink;
+  unlink.authority = fs()->pxfs_root().lock_id();
+  unlink.dir = fs()->pxfs_root();
+  unlink.name = "victim";
+  ASSERT_TRUE(tfs()->ApplyBatch(cid(), OneOp(unlink)).ok());
+  // Storage reclaimed: the mFile header is gone.
+  EXPECT_EQ(MFile::Open(fs()->read_context(), *pooled).code(),
+            ErrorCode::kCorrupted);
+}
+
+TEST_F(TfsTest, UnlinkWhileOpenDefersReclaim) {
+  LockRootXH();
+  auto pooled = fs()->TakePooled(ObjType::kMFile);
+  ASSERT_TRUE(pooled.ok());
+  MetaOp create;
+  create.type = MetaOpType::kCreateFile;
+  create.authority = fs()->pxfs_root().lock_id();
+  create.dir = fs()->pxfs_root();
+  create.name = "held";
+  create.obj = *pooled;
+  ASSERT_TRUE(tfs()->ApplyBatch(cid(), OneOp(create)).ok());
+
+  ASSERT_TRUE(tfs()->NotifyOpen(cid(), *pooled).ok());
+  MetaOp unlink;
+  unlink.type = MetaOpType::kUnlink;
+  unlink.authority = fs()->pxfs_root().lock_id();
+  unlink.dir = fs()->pxfs_root();
+  unlink.name = "held";
+  ASSERT_TRUE(tfs()->ApplyBatch(cid(), OneOp(unlink)).ok());
+
+  // Still accessible while open (paper §6.1).
+  auto file = MFile::Open(fs()->read_context(), *pooled);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file->link_count(), 0u);
+  // Last close reclaims it.
+  ASSERT_TRUE(tfs()->NotifyClosed(cid(), *pooled).ok());
+  EXPECT_EQ(MFile::Open(fs()->read_context(), *pooled).code(),
+            ErrorCode::kCorrupted);
+}
+
+TEST_F(TfsTest, RenameCycleRejected) {
+  LockRootXH();
+  // Build /a/b, then try to move /a under /a/b.
+  auto a = fs()->TakePooled(ObjType::kCollection);
+  auto b = fs()->TakePooled(ObjType::kCollection);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  MetaOp mk_a;
+  mk_a.type = MetaOpType::kCreateDir;
+  mk_a.authority = fs()->pxfs_root().lock_id();
+  mk_a.dir = fs()->pxfs_root();
+  mk_a.name = "a";
+  mk_a.obj = *a;
+  MetaOp mk_b = mk_a;
+  mk_b.dir = *a;
+  mk_b.name = "b";
+  mk_b.obj = *b;
+  ASSERT_TRUE(tfs()->ApplyBatch(cid(), EncodeBatch({mk_a, mk_b})).ok());
+
+  MetaOp rename;
+  rename.type = MetaOpType::kRename;
+  rename.authority = fs()->pxfs_root().lock_id();
+  rename.dir = fs()->pxfs_root();
+  rename.name = "a";
+  rename.dir2 = *b;
+  rename.name2 = "a_inside_b";
+  EXPECT_EQ(tfs()->ApplyBatch(cid(), OneOp(rename)).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(TfsTest, RmdirOfNonEmptyDirectoryRejected) {
+  LockRootXH();
+  auto dir = fs()->TakePooled(ObjType::kCollection);
+  auto file = fs()->TakePooled(ObjType::kMFile);
+  ASSERT_TRUE(dir.ok());
+  ASSERT_TRUE(file.ok());
+  MetaOp mkdir;
+  mkdir.type = MetaOpType::kCreateDir;
+  mkdir.authority = fs()->pxfs_root().lock_id();
+  mkdir.dir = fs()->pxfs_root();
+  mkdir.name = "full";
+  mkdir.obj = *dir;
+  MetaOp touch;
+  touch.type = MetaOpType::kCreateFile;
+  touch.authority = fs()->pxfs_root().lock_id();
+  touch.dir = *dir;
+  touch.name = "occupant";
+  touch.obj = *file;
+  ASSERT_TRUE(tfs()->ApplyBatch(cid(), EncodeBatch({mkdir, touch})).ok());
+
+  MetaOp rmdir;
+  rmdir.type = MetaOpType::kUnlink;
+  rmdir.authority = fs()->pxfs_root().lock_id();
+  rmdir.dir = fs()->pxfs_root();
+  rmdir.name = "full";
+  EXPECT_EQ(tfs()->ApplyBatch(cid(), OneOp(rmdir)).code(),
+            ErrorCode::kNotEmpty);
+}
+
+TEST_F(TfsTest, IntraBatchCreateThenRemoveValidatesSequentially) {
+  LockRootXH();
+  auto dir = fs()->TakePooled(ObjType::kCollection);
+  auto file = fs()->TakePooled(ObjType::kMFile);
+  ASSERT_TRUE(dir.ok());
+  ASSERT_TRUE(file.ok());
+  MetaOp mkdir;
+  mkdir.type = MetaOpType::kCreateDir;
+  mkdir.authority = fs()->pxfs_root().lock_id();
+  mkdir.dir = fs()->pxfs_root();
+  mkdir.name = "tmpdir";
+  mkdir.obj = *dir;
+  MetaOp touch;
+  touch.type = MetaOpType::kCreateFile;
+  touch.authority = fs()->pxfs_root().lock_id();
+  touch.dir = *dir;
+  touch.name = "f";
+  touch.obj = *file;
+  MetaOp rmdir;  // must be rejected: dir is non-empty *within the batch*
+  rmdir.type = MetaOpType::kUnlink;
+  rmdir.authority = fs()->pxfs_root().lock_id();
+  rmdir.dir = fs()->pxfs_root();
+  rmdir.name = "tmpdir";
+  EXPECT_EQ(
+      tfs()->ApplyBatch(cid(), EncodeBatch({mkdir, touch, rmdir})).code(),
+      ErrorCode::kNotEmpty);
+}
+
+TEST_F(TfsTest, AttachExtentValidatesPoolAndAllocation) {
+  LockRootXH();
+  auto file = fs()->TakePooled(ObjType::kMFile);
+  auto extent = fs()->TakePooled(ObjType::kExtent);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(extent.ok());
+  MetaOp create;
+  create.type = MetaOpType::kCreateFile;
+  create.authority = fs()->pxfs_root().lock_id();
+  create.dir = fs()->pxfs_root();
+  create.name = "data";
+  create.obj = *file;
+  MetaOp attach;
+  attach.type = MetaOpType::kAttachExtent;
+  attach.authority = fs()->pxfs_root().lock_id();
+  attach.obj = *file;
+  attach.a = 0;
+  attach.b = extent->offset();
+  ASSERT_TRUE(tfs()->ApplyBatch(cid(), EncodeBatch({create, attach})).ok());
+
+  // A second attach of a never-pooled extent is rejected.
+  MetaOp forged = attach;
+  forged.a = 1;
+  forged.b = sys_->partition_offset() + (8 << 20);
+  EXPECT_EQ(tfs()->ApplyBatch(cid(), OneOp(forged)).code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST_F(TfsTest, ServiceReadWritePath) {
+  LockRootXH();
+  auto file = fs()->TakePooled(ObjType::kMFile);
+  ASSERT_TRUE(file.ok());
+  MetaOp create;
+  create.type = MetaOpType::kCreateFile;
+  create.authority = fs()->pxfs_root().lock_id();
+  create.dir = fs()->pxfs_root();
+  create.name = "writeonly";
+  create.obj = *file;
+  ASSERT_TRUE(tfs()->ApplyBatch(cid(), OneOp(create)).ok());
+
+  const std::string data = "through the service";
+  ASSERT_TRUE(fs()->ServiceWrite(*file, 100,
+                                 std::span<const char>(data.data(),
+                                                       data.size()))
+                  .ok());
+  std::string buf(data.size(), '\0');
+  auto n = fs()->ServiceRead(*file, 100,
+                             std::span<char>(buf.data(), buf.size()));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, data.size());
+  EXPECT_EQ(buf, data);
+}
+
+TEST_F(TfsTest, ExpiredLeaseRejectsBatch) {
+  LockRootXH();
+  auto pooled = fs()->TakePooled(ObjType::kMFile);
+  ASSERT_TRUE(pooled.ok());
+  sys_->lock_service()->ExpireLeaseForTesting(cid());
+  MetaOp op;
+  op.type = MetaOpType::kCreateFile;
+  op.authority = fs()->pxfs_root().lock_id();
+  op.dir = fs()->pxfs_root();
+  op.name = "too-late";
+  op.obj = *pooled;
+  EXPECT_EQ(tfs()->ApplyBatch(cid(), OneOp(op)).code(),
+            ErrorCode::kLockRevoked);
+}
+
+}  // namespace
+}  // namespace aerie

@@ -1,0 +1,94 @@
+// Full-stack test over real Unix-domain-socket RPC (the paper's loopback
+// transport): PXFS and FlatFS running with every client->service call going
+// through the socket server.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/flatfs/flatfs.h"
+#include "src/libfs/system.h"
+#include "src/pxfs/pxfs.h"
+
+namespace aerie {
+namespace {
+
+class UdsStackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AerieSystem::Options options;
+    options.region_bytes = 256ull << 20;
+    options.uds_path = ::testing::TempDir() + "/aerie_stack_" +
+                       ::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name() +
+                       ".sock";
+    auto sys = AerieSystem::Create(options);
+    ASSERT_TRUE(sys.ok());
+    sys_ = std::move(*sys);
+  }
+
+  std::unique_ptr<AerieSystem> sys_;
+};
+
+TEST_F(UdsStackTest, PxfsOverSockets) {
+  auto client = sys_->NewUdsClient(LibFs::Options{});
+  ASSERT_TRUE(client.ok());
+  Pxfs fs((*client)->fs());
+
+  ASSERT_TRUE(fs.Mkdir("/socketed").ok());
+  const std::string data(20000, 's');
+  auto fd = fs.Open("/socketed/file", kOpenCreate | kOpenWrite);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(
+      fs.Write(*fd, std::span<const char>(data.data(), data.size())).ok());
+  ASSERT_TRUE(fs.Close(*fd).ok());
+  ASSERT_TRUE(fs.SyncAll().ok());
+
+  auto rfd = fs.Open("/socketed/file", kOpenRead);
+  ASSERT_TRUE(rfd.ok());
+  std::string buf(data.size(), '\0');
+  auto n = fs.Read(*rfd, std::span<char>(buf.data(), buf.size()));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, data.size());
+  EXPECT_EQ(buf, data);
+  ASSERT_TRUE(fs.Close(*rfd).ok());
+  EXPECT_GT((*client)->transport()->calls_made(), 0u);
+}
+
+TEST_F(UdsStackTest, TwoSocketClientsShare) {
+  auto c1 = sys_->NewUdsClient(LibFs::Options{});
+  auto c2 = sys_->NewUdsClient(LibFs::Options{});
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  EXPECT_NE((*c1)->id(), (*c2)->id());
+
+  Pxfs fs1((*c1)->fs());
+  Pxfs fs2((*c2)->fs());
+  ASSERT_TRUE(fs1.Create("/handoff").ok());
+  // c2's open revokes c1's locks over the socket-registered session and
+  // forces the batch ship.
+  auto fd = fs2.Open("/handoff", kOpenRead);
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+  ASSERT_TRUE(fs2.Close(*fd).ok());
+}
+
+TEST_F(UdsStackTest, FlatFsOverSockets) {
+  auto client = sys_->NewUdsClient(LibFs::Options{});
+  ASSERT_TRUE(client.ok());
+  FlatFs flat((*client)->fs());
+  for (int i = 0; i < 50; ++i) {
+    const std::string value = "v" + std::to_string(i);
+    ASSERT_TRUE(flat.Put("k" + std::to_string(i),
+                         std::span<const char>(value.data(), value.size()))
+                    .ok());
+  }
+  ASSERT_TRUE(flat.Sync().ok());
+  for (int i = 0; i < 50; ++i) {
+    auto value = flat.Get("k" + std::to_string(i));
+    ASSERT_TRUE(value.ok());
+    EXPECT_EQ(*value, "v" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace aerie

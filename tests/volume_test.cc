@@ -1,0 +1,82 @@
+// Tests for the volume layout: format/open, read-only vs writable views,
+// root oid persistence, geometry sanity.
+#include <gtest/gtest.h>
+
+#include "src/osd/volume.h"
+
+namespace aerie {
+namespace {
+
+TEST(VolumeTest, FormatAndReopen) {
+  auto region = ScmRegion::CreateAnonymous(64 << 20);
+  ASSERT_TRUE(region.ok());
+  auto volume = Volume::Format(region->get(), 0, (*region)->size());
+  ASSERT_TRUE(volume.ok());
+  EXPECT_NE((*volume)->allocator(), nullptr);
+  EXPECT_NE((*volume)->log(), nullptr);
+  EXPECT_TRUE((*volume)->root_oid().IsNull());
+  (*volume)->SetRootOid(Oid::Make(ObjType::kCollection, 1 << 20));
+
+  auto reopened = Volume::Open(region->get(), 0, /*writable=*/true);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->root_oid(),
+            Oid::Make(ObjType::kCollection, 1 << 20));
+  EXPECT_NE((*reopened)->allocator(), nullptr);
+}
+
+TEST(VolumeTest, ReadOnlyViewHasNoAllocatorOrLog) {
+  auto region = ScmRegion::CreateAnonymous(64 << 20);
+  ASSERT_TRUE(region.ok());
+  auto volume = Volume::Format(region->get(), 0, (*region)->size());
+  ASSERT_TRUE(volume.ok());
+  auto ro = Volume::Open(region->get(), 0, /*writable=*/false);
+  ASSERT_TRUE(ro.ok());
+  EXPECT_EQ((*ro)->allocator(), nullptr);
+  EXPECT_EQ((*ro)->log(), nullptr);
+  EXPECT_FALSE((*ro)->context().can_allocate());
+}
+
+TEST(VolumeTest, OpenRejectsUnformatted) {
+  auto region = ScmRegion::CreateAnonymous(4 << 20);
+  ASSERT_TRUE(region.ok());
+  EXPECT_EQ(Volume::Open(region->get(), 0, true).code(),
+            ErrorCode::kCorrupted);
+}
+
+TEST(VolumeTest, TooSmallPartitionRejected) {
+  auto region = ScmRegion::CreateAnonymous(4 << 20);
+  ASSERT_TRUE(region.ok());
+  // Log alone would consume the partition.
+  auto volume = Volume::Format(region->get(), 0, 1 << 20,
+                               Volume::Options{.log_bytes = 8 << 20});
+  EXPECT_FALSE(volume.ok());
+}
+
+TEST(VolumeTest, AllocationsComeFromDataArea) {
+  auto region = ScmRegion::CreateAnonymous(64 << 20);
+  ASSERT_TRUE(region.ok());
+  auto volume = Volume::Format(region->get(), 1 << 20, 32 << 20);
+  ASSERT_TRUE(volume.ok());
+  auto offset = (*volume)->allocator()->Alloc(0);
+  ASSERT_TRUE(offset.ok());
+  EXPECT_GE(*offset, 1u << 20);
+  EXPECT_LT(*offset, (1u << 20) + (32u << 20));
+}
+
+TEST(VolumeTest, AllocatorStateSurvivesReopen) {
+  auto region = ScmRegion::CreateAnonymous(64 << 20);
+  ASSERT_TRUE(region.ok());
+  auto volume = Volume::Format(region->get(), 0, (*region)->size());
+  ASSERT_TRUE(volume.ok());
+  auto a = (*volume)->allocator()->Alloc(2);
+  ASSERT_TRUE(a.ok());
+  const uint64_t free_before = (*volume)->allocator()->pages_free();
+
+  auto reopened = Volume::Open(region->get(), 0, /*writable=*/true);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->allocator()->pages_free(), free_before);
+  EXPECT_TRUE((*reopened)->allocator()->IsAllocated(*a));
+}
+
+}  // namespace
+}  // namespace aerie

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Folds bench_output.txt sections into EXPERIMENTS.md's MEASURED_* slots.
+
+Usage: tools/fill_experiments.py [bench_output.txt] [EXPERIMENTS.md]
+Idempotent only on a fresh EXPERIMENTS.md containing the placeholders.
+"""
+import re
+import sys
+
+
+def section(text, start_marker, end_marker=None):
+    """Lines from the line containing start_marker up to (not incl.) the
+    line containing end_marker (or the next '+ ' command echo)."""
+    lines = text.splitlines()
+    out = []
+    capturing = False
+    for line in lines:
+        if not capturing and start_marker in line:
+            capturing = True
+        if capturing:
+            if end_marker and end_marker in line and out:
+                break
+            if line.startswith("+ ") and out:
+                break
+            out.append(line)
+    return "\n".join(out).strip()
+
+
+def code_block(body):
+    return "```\n" + body + "\n```"
+
+
+def main():
+    bench_path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    md_path = sys.argv[2] if len(sys.argv) > 2 else "EXPERIMENTS.md"
+    bench = open(bench_path).read()
+    # Strip the set -x command echoes' noise prefixes for readability.
+    bench = "\n".join(
+        line for line in bench.splitlines() if not line.startswith("WARNING"))
+
+    slots = {
+        "MEASURED_FIG1": section(bench, "# Figure 1"),
+        "MEASURED_TABLE1": section(bench, "# Table 1"),
+        "MEASURED_TABLE2": section(bench, "# Table 2"),
+        "MEASURED_FIG5": section(bench, "# Figure 5"),
+        "MEASURED_TABLE3": section(bench, "# Table 3"),
+        "MEASURED_FIG6": section(bench, "# Figure 6"),
+        "MEASURED_PERM": section(bench, "# Permission change"),
+        "MEASURED_BATCHING": section(bench, "# Ablation: batch size"),
+        "MEASURED_NAMECACHE": section(bench, "# Ablation: path-name cache"),
+        "MEASURED_LOCKMODES": section(bench,
+                                      "# Ablation: hierarchical vs explicit"),
+        "MEASURED_RPC": section(bench, "# Ablation: RPC round-trip"),
+        "MEASURED_GBENCH": section(bench, "BM_PersistU64",
+                                   "BENCH EXIT"),
+    }
+
+    md = open(md_path).read()
+    for slot, body in slots.items():
+        if not body:
+            body = "(section missing from bench_output.txt)"
+        md = md.replace(slot, code_block(body))
+    open(md_path, "w").write(md)
+    print("filled", sum(1 for b in slots.values() if b), "sections")
+
+
+if __name__ == "__main__":
+    main()
