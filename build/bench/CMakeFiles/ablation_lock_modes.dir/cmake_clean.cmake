@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lock_modes.dir/ablation_lock_modes.cpp.o"
+  "CMakeFiles/ablation_lock_modes.dir/ablation_lock_modes.cpp.o.d"
+  "ablation_lock_modes"
+  "ablation_lock_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lock_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_name_cache.dir/ablation_name_cache.cpp.o"
+  "CMakeFiles/ablation_name_cache.dir/ablation_name_cache.cpp.o.d"
+  "ablation_name_cache"
+  "ablation_name_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_name_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_rpc_cost.cpp" "bench/CMakeFiles/ablation_rpc_cost.dir/ablation_rpc_cost.cpp.o" "gcc" "bench/CMakeFiles/ablation_rpc_cost.dir/ablation_rpc_cost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/aerie_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelsim/CMakeFiles/aerie_kernelsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pxfs/CMakeFiles/aerie_pxfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/flatfs/CMakeFiles/aerie_flatfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/libfs/CMakeFiles/aerie_libfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/tfs/CMakeFiles/aerie_tfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/osd/CMakeFiles/aerie_osd.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/aerie_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/aerie_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/txlog/CMakeFiles/aerie_txlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/scm/CMakeFiles/aerie_scm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aerie_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

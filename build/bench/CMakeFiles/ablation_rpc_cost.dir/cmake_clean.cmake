@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rpc_cost.dir/ablation_rpc_cost.cpp.o"
+  "CMakeFiles/ablation_rpc_cost.dir/ablation_rpc_cost.cpp.o.d"
+  "ablation_rpc_cost"
+  "ablation_rpc_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rpc_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

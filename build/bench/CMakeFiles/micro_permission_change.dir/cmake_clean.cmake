@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_permission_change.dir/micro_permission_change.cpp.o"
+  "CMakeFiles/micro_permission_change.dir/micro_permission_change.cpp.o.d"
+  "micro_permission_change"
+  "micro_permission_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_permission_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_filebench.dir/table2_filebench.cpp.o"
+  "CMakeFiles/table2_filebench.dir/table2_filebench.cpp.o.d"
+  "table2_filebench"
+  "table2_filebench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_filebench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_multiclient.dir/table3_multiclient.cpp.o"
+  "CMakeFiles/table3_multiclient.dir/table3_multiclient.cpp.o.d"
+  "table3_multiclient"
+  "table3_multiclient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_multiclient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aerie_fsck.dir/aerie_fsck.cpp.o"
+  "CMakeFiles/aerie_fsck.dir/aerie_fsck.cpp.o.d"
+  "aerie_fsck"
+  "aerie_fsck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aerie_fsck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mailstore.dir/mailstore.cpp.o"
+  "CMakeFiles/mailstore.dir/mailstore.cpp.o.d"
+  "mailstore"
+  "mailstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mailstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

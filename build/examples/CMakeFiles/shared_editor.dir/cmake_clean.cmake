@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_editor.dir/shared_editor.cpp.o"
+  "CMakeFiles/shared_editor.dir/shared_editor.cpp.o.d"
+  "shared_editor"
+  "shared_editor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_editor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webproxy_cache.dir/webproxy_cache.cpp.o"
+  "CMakeFiles/webproxy_cache.dir/webproxy_cache.cpp.o.d"
+  "webproxy_cache"
+  "webproxy_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webproxy_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("scm")
+subdirs("txlog")
+subdirs("rpc")
+subdirs("lock")
+subdirs("osd")
+subdirs("tfs")
+subdirs("libfs")
+subdirs("pxfs")
+subdirs("flatfs")
+subdirs("kernelsim")
+subdirs("workload")

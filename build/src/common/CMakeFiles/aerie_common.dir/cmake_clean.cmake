@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aerie_common.dir/histogram.cc.o"
+  "CMakeFiles/aerie_common.dir/histogram.cc.o.d"
+  "CMakeFiles/aerie_common.dir/status.cc.o"
+  "CMakeFiles/aerie_common.dir/status.cc.o.d"
+  "libaerie_common.a"
+  "libaerie_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aerie_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aerie_flatfs.dir/flatfs.cc.o"
+  "CMakeFiles/aerie_flatfs.dir/flatfs.cc.o.d"
+  "libaerie_flatfs.a"
+  "libaerie_flatfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aerie_flatfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

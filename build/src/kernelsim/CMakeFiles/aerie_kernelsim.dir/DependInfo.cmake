@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernelsim/blockdev.cc" "src/kernelsim/CMakeFiles/aerie_kernelsim.dir/blockdev.cc.o" "gcc" "src/kernelsim/CMakeFiles/aerie_kernelsim.dir/blockdev.cc.o.d"
+  "/root/repo/src/kernelsim/extsim.cc" "src/kernelsim/CMakeFiles/aerie_kernelsim.dir/extsim.cc.o" "gcc" "src/kernelsim/CMakeFiles/aerie_kernelsim.dir/extsim.cc.o.d"
+  "/root/repo/src/kernelsim/journal.cc" "src/kernelsim/CMakeFiles/aerie_kernelsim.dir/journal.cc.o" "gcc" "src/kernelsim/CMakeFiles/aerie_kernelsim.dir/journal.cc.o.d"
+  "/root/repo/src/kernelsim/ramfs.cc" "src/kernelsim/CMakeFiles/aerie_kernelsim.dir/ramfs.cc.o" "gcc" "src/kernelsim/CMakeFiles/aerie_kernelsim.dir/ramfs.cc.o.d"
+  "/root/repo/src/kernelsim/vfs.cc" "src/kernelsim/CMakeFiles/aerie_kernelsim.dir/vfs.cc.o" "gcc" "src/kernelsim/CMakeFiles/aerie_kernelsim.dir/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aerie_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aerie_kernelsim.dir/blockdev.cc.o"
+  "CMakeFiles/aerie_kernelsim.dir/blockdev.cc.o.d"
+  "CMakeFiles/aerie_kernelsim.dir/extsim.cc.o"
+  "CMakeFiles/aerie_kernelsim.dir/extsim.cc.o.d"
+  "CMakeFiles/aerie_kernelsim.dir/journal.cc.o"
+  "CMakeFiles/aerie_kernelsim.dir/journal.cc.o.d"
+  "CMakeFiles/aerie_kernelsim.dir/ramfs.cc.o"
+  "CMakeFiles/aerie_kernelsim.dir/ramfs.cc.o.d"
+  "CMakeFiles/aerie_kernelsim.dir/vfs.cc.o"
+  "CMakeFiles/aerie_kernelsim.dir/vfs.cc.o.d"
+  "libaerie_kernelsim.a"
+  "libaerie_kernelsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aerie_kernelsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aerie_libfs.dir/client.cc.o"
+  "CMakeFiles/aerie_libfs.dir/client.cc.o.d"
+  "CMakeFiles/aerie_libfs.dir/system.cc.o"
+  "CMakeFiles/aerie_libfs.dir/system.cc.o.d"
+  "libaerie_libfs.a"
+  "libaerie_libfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aerie_libfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

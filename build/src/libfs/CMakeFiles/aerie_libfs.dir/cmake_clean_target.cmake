@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaerie_libfs.a"
+)

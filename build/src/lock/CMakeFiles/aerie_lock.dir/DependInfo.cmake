@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lock/clerk.cc" "src/lock/CMakeFiles/aerie_lock.dir/clerk.cc.o" "gcc" "src/lock/CMakeFiles/aerie_lock.dir/clerk.cc.o.d"
+  "/root/repo/src/lock/lock_service.cc" "src/lock/CMakeFiles/aerie_lock.dir/lock_service.cc.o" "gcc" "src/lock/CMakeFiles/aerie_lock.dir/lock_service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aerie_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/aerie_rpc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

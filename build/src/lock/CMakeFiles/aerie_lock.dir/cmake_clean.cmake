@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aerie_lock.dir/clerk.cc.o"
+  "CMakeFiles/aerie_lock.dir/clerk.cc.o.d"
+  "CMakeFiles/aerie_lock.dir/lock_service.cc.o"
+  "CMakeFiles/aerie_lock.dir/lock_service.cc.o.d"
+  "libaerie_lock.a"
+  "libaerie_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aerie_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

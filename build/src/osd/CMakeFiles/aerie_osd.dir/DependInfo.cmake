@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/osd/buddy.cc" "src/osd/CMakeFiles/aerie_osd.dir/buddy.cc.o" "gcc" "src/osd/CMakeFiles/aerie_osd.dir/buddy.cc.o.d"
+  "/root/repo/src/osd/collection.cc" "src/osd/CMakeFiles/aerie_osd.dir/collection.cc.o" "gcc" "src/osd/CMakeFiles/aerie_osd.dir/collection.cc.o.d"
+  "/root/repo/src/osd/mfile.cc" "src/osd/CMakeFiles/aerie_osd.dir/mfile.cc.o" "gcc" "src/osd/CMakeFiles/aerie_osd.dir/mfile.cc.o.d"
+  "/root/repo/src/osd/volume.cc" "src/osd/CMakeFiles/aerie_osd.dir/volume.cc.o" "gcc" "src/osd/CMakeFiles/aerie_osd.dir/volume.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aerie_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/scm/CMakeFiles/aerie_scm.dir/DependInfo.cmake"
+  "/root/repo/build/src/txlog/CMakeFiles/aerie_txlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/aerie_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/aerie_rpc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

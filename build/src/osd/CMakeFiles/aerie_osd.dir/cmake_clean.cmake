@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aerie_osd.dir/buddy.cc.o"
+  "CMakeFiles/aerie_osd.dir/buddy.cc.o.d"
+  "CMakeFiles/aerie_osd.dir/collection.cc.o"
+  "CMakeFiles/aerie_osd.dir/collection.cc.o.d"
+  "CMakeFiles/aerie_osd.dir/mfile.cc.o"
+  "CMakeFiles/aerie_osd.dir/mfile.cc.o.d"
+  "CMakeFiles/aerie_osd.dir/volume.cc.o"
+  "CMakeFiles/aerie_osd.dir/volume.cc.o.d"
+  "libaerie_osd.a"
+  "libaerie_osd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aerie_osd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aerie_pxfs.dir/pxfs.cc.o"
+  "CMakeFiles/aerie_pxfs.dir/pxfs.cc.o.d"
+  "libaerie_pxfs.a"
+  "libaerie_pxfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aerie_pxfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for aerie_pxfs.
+# This may be replaced when dependencies are built.

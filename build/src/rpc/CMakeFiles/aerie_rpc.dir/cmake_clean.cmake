@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aerie_rpc.dir/socket.cc.o"
+  "CMakeFiles/aerie_rpc.dir/socket.cc.o.d"
+  "libaerie_rpc.a"
+  "libaerie_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aerie_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

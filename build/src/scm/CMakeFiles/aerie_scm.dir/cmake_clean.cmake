@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aerie_scm.dir/manager.cc.o"
+  "CMakeFiles/aerie_scm.dir/manager.cc.o.d"
+  "CMakeFiles/aerie_scm.dir/pmem.cc.o"
+  "CMakeFiles/aerie_scm.dir/pmem.cc.o.d"
+  "libaerie_scm.a"
+  "libaerie_scm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aerie_scm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

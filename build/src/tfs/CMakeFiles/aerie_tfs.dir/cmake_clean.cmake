@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aerie_tfs.dir/fsck.cc.o"
+  "CMakeFiles/aerie_tfs.dir/fsck.cc.o.d"
+  "CMakeFiles/aerie_tfs.dir/ops.cc.o"
+  "CMakeFiles/aerie_tfs.dir/ops.cc.o.d"
+  "CMakeFiles/aerie_tfs.dir/service.cc.o"
+  "CMakeFiles/aerie_tfs.dir/service.cc.o.d"
+  "libaerie_tfs.a"
+  "libaerie_tfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aerie_tfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

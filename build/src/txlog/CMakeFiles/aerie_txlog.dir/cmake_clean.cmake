@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aerie_txlog.dir/redo_log.cc.o"
+  "CMakeFiles/aerie_txlog.dir/redo_log.cc.o.d"
+  "libaerie_txlog.a"
+  "libaerie_txlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aerie_txlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aerie_workload.dir/filebench.cc.o"
+  "CMakeFiles/aerie_workload.dir/filebench.cc.o.d"
+  "CMakeFiles/aerie_workload.dir/microbench.cc.o"
+  "CMakeFiles/aerie_workload.dir/microbench.cc.o.d"
+  "CMakeFiles/aerie_workload.dir/sut.cc.o"
+  "CMakeFiles/aerie_workload.dir/sut.cc.o.d"
+  "libaerie_workload.a"
+  "libaerie_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aerie_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clerk_test.dir/clerk_test.cc.o"
+  "CMakeFiles/clerk_test.dir/clerk_test.cc.o.d"
+  "clerk_test"
+  "clerk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clerk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

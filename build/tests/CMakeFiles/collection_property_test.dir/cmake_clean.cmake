@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collection_property_test.dir/collection_property_test.cc.o"
+  "CMakeFiles/collection_property_test.dir/collection_property_test.cc.o.d"
+  "collection_property_test"
+  "collection_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collection_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_random_test.dir/crash_random_test.cc.o"
+  "CMakeFiles/crash_random_test.dir/crash_random_test.cc.o.d"
+  "crash_random_test"
+  "crash_random_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

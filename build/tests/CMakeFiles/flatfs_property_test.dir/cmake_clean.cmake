@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flatfs_property_test.dir/flatfs_property_test.cc.o"
+  "CMakeFiles/flatfs_property_test.dir/flatfs_property_test.cc.o.d"
+  "flatfs_property_test"
+  "flatfs_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flatfs_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

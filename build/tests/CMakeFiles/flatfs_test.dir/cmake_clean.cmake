@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flatfs_test.dir/flatfs_test.cc.o"
+  "CMakeFiles/flatfs_test.dir/flatfs_test.cc.o.d"
+  "flatfs_test"
+  "flatfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flatfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libfs_test.dir/libfs_test.cc.o"
+  "CMakeFiles/libfs_test.dir/libfs_test.cc.o.d"
+  "libfs_test"
+  "libfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_service_test.dir/lock_service_test.cc.o"
+  "CMakeFiles/lock_service_test.dir/lock_service_test.cc.o.d"
+  "lock_service_test"
+  "lock_service_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_stress_test.dir/lock_stress_test.cc.o"
+  "CMakeFiles/lock_stress_test.dir/lock_stress_test.cc.o.d"
+  "lock_stress_test"
+  "lock_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

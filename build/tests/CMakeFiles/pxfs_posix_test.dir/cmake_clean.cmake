@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pxfs_posix_test.dir/pxfs_posix_test.cc.o"
+  "CMakeFiles/pxfs_posix_test.dir/pxfs_posix_test.cc.o.d"
+  "pxfs_posix_test"
+  "pxfs_posix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pxfs_posix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

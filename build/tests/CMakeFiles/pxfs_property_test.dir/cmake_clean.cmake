@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pxfs_property_test.dir/pxfs_property_test.cc.o"
+  "CMakeFiles/pxfs_property_test.dir/pxfs_property_test.cc.o.d"
+  "pxfs_property_test"
+  "pxfs_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pxfs_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pxfs_test.dir/pxfs_test.cc.o"
+  "CMakeFiles/pxfs_test.dir/pxfs_test.cc.o.d"
+  "pxfs_test"
+  "pxfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pxfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scm_manager_test.dir/scm_manager_test.cc.o"
+  "CMakeFiles/scm_manager_test.dir/scm_manager_test.cc.o.d"
+  "scm_manager_test"
+  "scm_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scm_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

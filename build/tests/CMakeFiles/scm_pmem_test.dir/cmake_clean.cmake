@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scm_pmem_test.dir/scm_pmem_test.cc.o"
+  "CMakeFiles/scm_pmem_test.dir/scm_pmem_test.cc.o.d"
+  "scm_pmem_test"
+  "scm_pmem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scm_pmem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfs_concurrency_test.dir/tfs_concurrency_test.cc.o"
+  "CMakeFiles/tfs_concurrency_test.dir/tfs_concurrency_test.cc.o.d"
+  "tfs_concurrency_test"
+  "tfs_concurrency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfs_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfs_test.dir/tfs_test.cc.o"
+  "CMakeFiles/tfs_test.dir/tfs_test.cc.o.d"
+  "tfs_test"
+  "tfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uds_stack_test.dir/uds_stack_test.cc.o"
+  "CMakeFiles/uds_stack_test.dir/uds_stack_test.cc.o.d"
+  "uds_stack_test"
+  "uds_stack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uds_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
