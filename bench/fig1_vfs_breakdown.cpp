@@ -14,6 +14,7 @@
 #include "bench/bench_util.h"
 #include "src/kernelsim/extsim.h"
 #include "src/kernelsim/vfs.h"
+#include "src/obs/obs.h"
 
 namespace aerie {
 namespace {
@@ -53,11 +54,26 @@ std::vector<std::string> BuildTree(KernelVfs* vfs, uint64_t nfiles) {
   return files;
 }
 
+// Per-category snapshot of the registry-backed VfsStats; Measure works on
+// before/after deltas so the registry keeps whole-run totals for the final
+// obs::DumpText/DumpJson export.
+struct VfsSnap {
+  uint64_t ns[static_cast<int>(VfsCat::kCount)];
+
+  static VfsSnap Take(const VfsStats& stats) {
+    VfsSnap snap;
+    for (int c = 0; c < static_cast<int>(VfsCat::kCount); ++c) {
+      snap.ns[c] = stats.Get(static_cast<VfsCat>(c));
+    }
+    return snap;
+  }
+};
+
 OpRow Measure(KernelVfs* vfs, const std::string& name,
               const std::function<void(const std::string&)>& op,
               const std::vector<std::string>& paths) {
   vfs->DropCaches();  // paper: cold inode and dentry caches
-  vfs->stats().Reset();
+  const VfsSnap before = VfsSnap::Take(vfs->stats());
   const uint64_t start = NowNanos();
   for (const auto& path : paths) {
     op(path);
@@ -67,15 +83,18 @@ OpRow Measure(KernelVfs* vfs, const std::string& name,
   OpRow row;
   row.name = name;
   row.avg_us = total_us / static_cast<double>(paths.size());
-  const double vfs_total = static_cast<double>(vfs->stats().VfsTotal());
+  const VfsSnap after = VfsSnap::Take(vfs->stats());
   const VfsCat cats[5] = {VfsCat::kEntry, VfsCat::kFds, VfsCat::kSync,
                           VfsCat::kMemObjects, VfsCat::kNaming};
+  double vfs_total = 0;
+  for (int c = 0; c < static_cast<int>(VfsCat::kBackend); ++c) {
+    vfs_total += static_cast<double>(after.ns[c] - before.ns[c]);
+  }
   for (int c = 0; c < 5; ++c) {
-    row.pct[c] = vfs_total > 0
-                     ? 100.0 * static_cast<double>(
-                                   vfs->stats().Get(cats[c])) /
-                           vfs_total
-                     : 0;
+    const uint64_t delta = after.ns[static_cast<int>(cats[c])] -
+                           before.ns[static_cast<int>(cats[c])];
+    row.pct[c] =
+        vfs_total > 0 ? 100.0 * static_cast<double>(delta) / vfs_total : 0;
   }
   return row;
 }
@@ -104,6 +123,8 @@ int main() {
   KernelVfs vfs(backend->get(), KernelVfs::Options{});
 
   auto files = BuildTree(&vfs, nfiles);
+  // Attribute only the measured ops to the registry (not tree setup).
+  obs::ResetAll();
 
   std::vector<OpRow> rows;
   // stat
@@ -172,5 +193,10 @@ int main() {
               generic_sum / static_cast<double>(rows.size()));
   std::printf("paper avg latencies: stat 1.8us, open 2.4us, create 4.1us, "
               "rename 5.8us, unlink 5.1us\n");
+
+  // Whole-run per-layer view straight from the obs registry (text + JSON).
+  std::printf("\n== obs registry (all measured ops) ==\n%s\n",
+              obs::DumpText().c_str());
+  std::printf("OBS_JSON %s\n", obs::DumpJson().c_str());
   return 0;
 }

@@ -91,4 +91,18 @@ std::string Histogram::SummaryString() const {
   return buf;
 }
 
+std::string Histogram::ToJson() const {
+  char buf[224];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\":%llu,\"min\":%llu,\"mean\":%.1f,\"p50\":%llu,"
+                "\"p95\":%llu,\"p99\":%llu,\"max\":%llu}",
+                static_cast<unsigned long long>(count_),
+                static_cast<unsigned long long>(min()), Mean(),
+                static_cast<unsigned long long>(Percentile(50)),
+                static_cast<unsigned long long>(Percentile(95)),
+                static_cast<unsigned long long>(Percentile(99)),
+                static_cast<unsigned long long>(max()));
+  return buf;
+}
+
 }  // namespace aerie

@@ -36,6 +36,11 @@ class Histogram {
   // interpreted as nanoseconds.
   std::string SummaryString() const;
 
+  // Bucket-free JSON summary:
+  // {"count":N,"min":..,"mean":..,"p50":..,"p95":..,"p99":..,"max":..}
+  // Values keep the recorded unit (benchmarks record nanoseconds).
+  std::string ToJson() const;
+
  private:
   // 64 power-of-two major buckets x 16 linear minor buckets.
   static constexpr int kMinorBits = 4;

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/obs/obs.h"
+
 namespace aerie {
 
 FlatFs::FlatFs(LibFs* fs, const Options& options)
@@ -72,6 +74,7 @@ Result<std::pair<Oid, uint64_t>> FlatFs::Find(const Collection& coll,
 }
 
 Status FlatFs::Put(std::string_view key, std::span<const char> data) {
+  AERIE_SPAN("flatfs", "put");
   if (key.empty() || key.size() > Collection::kMaxKeyLen) {
     return Status(ErrorCode::kInvalidArgument, "bad key");
   }
@@ -106,6 +109,7 @@ Status FlatFs::Put(std::string_view key, std::span<const char> data) {
 }
 
 Result<uint64_t> FlatFs::Get(std::string_view key, std::span<char> out) {
+  AERIE_SPAN("flatfs", "get");
   AERIE_ASSIGN_OR_RETURN(LockId lock, LockBucket(key, /*write=*/false));
   Status st = OkStatus();
   uint64_t copied = 0;
@@ -164,6 +168,7 @@ Result<std::string> FlatFs::Get(std::string_view key) {
 }
 
 Status FlatFs::Erase(std::string_view key) {
+  AERIE_SPAN("flatfs", "erase");
   AERIE_ASSIGN_OR_RETURN(LockId lock, LockBucket(key, /*write=*/true));
   Status st = OkStatus();
   {
@@ -193,6 +198,7 @@ Status FlatFs::Erase(std::string_view key) {
 }
 
 Result<bool> FlatFs::Exists(std::string_view key) {
+  AERIE_SPAN("flatfs", "exists");
   AERIE_ASSIGN_OR_RETURN(LockId lock, LockBucket(key, /*write=*/false));
   bool exists = false;
   Status st = OkStatus();
@@ -217,6 +223,7 @@ Result<bool> FlatFs::Exists(std::string_view key) {
 }
 
 Status FlatFs::Scan(const std::function<bool(std::string_view)>& visit) {
+  AERIE_SPAN("flatfs", "scan");
   LockClerk* clerk = fs_->clerk();
   AERIE_RETURN_IF_ERROR(
       clerk->Acquire(root_.lock_id(), LockMode::kSharedHier));

@@ -43,7 +43,7 @@ void KernelVfs::ChargePages(uint64_t bytes) {
 }
 
 void KernelVfs::EnterSyscall() {
-  stats_.ops.fetch_add(1, std::memory_order_relaxed);
+  stats_.ops.Add(1);
   CatTimer timer(&stats_, VfsCat::kEntry);
   // The mode switch: trap, register save/restore, and the cache/TLB
   // pollution a real syscall pays (paper §3: "cost of changing modes and

@@ -29,6 +29,7 @@
 #include "src/common/open_flags.h"
 #include "src/common/status.h"
 #include "src/kernelsim/backend.h"
+#include "src/obs/obs.h"
 
 namespace aerie {
 
@@ -42,29 +43,51 @@ enum class VfsCat : int {
   kCount,
 };
 
+// Per-VFS cost attribution, stored directly in obs registry counters so
+// fig1_vfs_breakdown reads the same reporting path as every other layer.
+// Counters are registered for the lifetime of the owning KernelVfs.
 struct VfsStats {
-  std::array<std::atomic<uint64_t>, static_cast<int>(VfsCat::kCount)> ns{};
-  std::atomic<uint64_t> ops{0};
+  obs::Counter entry_ns{"vfs.entry.ns"};
+  obs::Counter fds_ns{"vfs.fds.ns"};
+  obs::Counter sync_ns{"vfs.sync.ns"};
+  obs::Counter memobj_ns{"vfs.memobj.ns"};
+  obs::Counter naming_ns{"vfs.naming.ns"};
+  obs::Counter backend_ns{"vfs.backend.ns"};
+  obs::Counter ops{"vfs.ops.count"};
+  obs::ScopedRegistration registration;
 
-  void Add(VfsCat cat, uint64_t nanos) {
-    ns[static_cast<int>(cat)].fetch_add(nanos, std::memory_order_relaxed);
+  VfsStats() {
+    registration.AddAll(entry_ns, fds_ns, sync_ns, memobj_ns, naming_ns,
+                        backend_ns, ops);
   }
-  uint64_t Get(VfsCat cat) const {
-    return ns[static_cast<int>(cat)].load(std::memory_order_relaxed);
+
+  obs::Counter& Cat(VfsCat cat) {
+    obs::Counter* const cats[static_cast<int>(VfsCat::kCount)] = {
+        &entry_ns, &fds_ns, &sync_ns, &memobj_ns, &naming_ns, &backend_ns};
+    return *cats[static_cast<int>(cat)];
   }
+  const obs::Counter& Cat(VfsCat cat) const {
+    return const_cast<VfsStats*>(this)->Cat(cat);
+  }
+
+  void Add(VfsCat cat, uint64_t nanos) { Cat(cat).Add(nanos); }
+  uint64_t Get(VfsCat cat) const { return Cat(cat).value(); }
   // Total time attributed to VFS-proper categories (excludes backend).
   uint64_t VfsTotal() const {
     uint64_t total = 0;
     for (int c = 0; c < static_cast<int>(VfsCat::kBackend); ++c) {
-      total += ns[c].load(std::memory_order_relaxed);
+      total += Get(static_cast<VfsCat>(c));
     }
     return total;
   }
   void Reset() {
-    for (auto& v : ns) {
-      v.store(0);
-    }
-    ops.store(0);
+    entry_ns.Reset();
+    fds_ns.Reset();
+    sync_ns.Reset();
+    memobj_ns.Reset();
+    naming_ns.Reset();
+    backend_ns.Reset();
+    ops.Reset();
   }
 };
 

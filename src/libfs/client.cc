@@ -100,7 +100,8 @@ Status LibFs::LogOps(std::vector<MetaOp> ops) {
     batch_bytes_ += 96 + op.name.size() + op.name2.size();
     batch_.push_back(std::move(op));
   }
-  ops_logged_ += ops.size();
+  ops_logged_.Add(ops.size());
+  pending_ops_gauge_.Set(static_cast<int64_t>(batch_.size()));
   if (batch_.size() >= options_.max_pending_ops) {
     return ShipBatchLocked(&lock);  // backpressure: producer pays the ship
   }
@@ -122,7 +123,8 @@ Status LibFs::LogOp(MetaOp op) {
   // Rough wire size: fixed fields + names.
   batch_bytes_ += 96 + op.name.size() + op.name2.size();
   batch_.push_back(std::move(op));
-  ops_logged_++;
+  ops_logged_.Add(1);
+  pending_ops_gauge_.Set(static_cast<int64_t>(batch_.size()));
   if (batch_.size() >= options_.max_pending_ops) {
     return ShipBatchLocked(&lock);  // backpressure: producer pays the ship
   }
@@ -150,12 +152,14 @@ Status LibFs::ShipBatchLocked(std::unique_lock<std::mutex>* lock) {
   lock->unlock();
   Status result = OkStatus();
   {
+    AERIE_SPAN("libfs", "ship_batch");
     std::lock_guard ship(ship_mu_);
     std::vector<MetaOp> ops;
     {
       std::lock_guard relock(batch_mu_);
       ops.swap(batch_);
       batch_bytes_ = 0;
+      pending_ops_gauge_.Set(0);
     }
     if (!ops.empty()) {
       if (clerk_->lease_lost() || abandoned_.load()) {
@@ -167,7 +171,7 @@ Status LibFs::ShipBatchLocked(std::unique_lock<std::mutex>* lock) {
         const std::string blob = EncodeBatch(ops);
         result = transport_->Call(kTfsRpcApplyBatch, blob).status();
         if (result.ok()) {
-          batches_shipped_++;
+          batches_shipped_.Add(1);
         }
       }
     }
@@ -188,6 +192,7 @@ Status LibFs::SyncAndReleaseLocks() {
 }
 
 Result<Oid> LibFs::TakePooled(ObjType type, uint64_t capacity) {
+  pool_takes_.Add(1);
   const auto key = std::make_pair(static_cast<uint8_t>(type), capacity);
   {
     std::lock_guard lock(pool_mu_);
@@ -199,6 +204,8 @@ Result<Oid> LibFs::TakePooled(ObjType type, uint64_t capacity) {
     }
   }
   // Refill over RPC (paper: 1000 objects per refill keeps this rare).
+  AERIE_SPAN("libfs", "pool_refill");
+  pool_refills_.Add(1);
   WireBuffer req;
   req.AppendU8(static_cast<uint8_t>(type));
   req.AppendU32(options_.pool_refill);

@@ -85,10 +85,8 @@ class LibFs {
   // Ships the batch and releases every cached global lock.
   Status SyncAndReleaseLocks();
 
-  uint64_t batches_shipped() const {
-    return batches_shipped_.load(std::memory_order_relaxed);
-  }
-  uint64_t ops_logged() const { return ops_logged_; }
+  uint64_t batches_shipped() const { return batches_shipped_.value(); }
+  uint64_t ops_logged() const { return ops_logged_.value(); }
   uint64_t pending_ops() const;
 
   // Interface layers add hooks run whenever a global lock is released or
@@ -117,7 +115,10 @@ class LibFs {
 
  private:
   LibFs(Transport* transport, ScmRegion* region, Options options)
-      : transport_(transport), region_(region), options_(options) {}
+      : transport_(transport), region_(region), options_(options) {
+    obs_registration_.AddAll(batches_shipped_, ops_logged_, pool_takes_,
+                             pool_refills_, pending_ops_gauge_);
+  }
 
   Status ShipBatchLocked(std::unique_lock<std::mutex>* lock);
 
@@ -142,8 +143,13 @@ class LibFs {
   std::mutex ship_mu_;
   std::vector<MetaOp> batch_;
   uint64_t batch_bytes_ = 0;
-  std::atomic<uint64_t> batches_shipped_{0};
-  uint64_t ops_logged_ = 0;
+  // Batch statistics live in the obs registry for this mount's lifetime.
+  obs::Counter batches_shipped_{"libfs.batch.shipped"};
+  obs::Counter ops_logged_{"libfs.batch.ops"};
+  obs::Counter pool_takes_{"libfs.pool.take"};
+  obs::Counter pool_refills_{"libfs.pool.refill"};
+  obs::Gauge pending_ops_gauge_{"libfs.batch.pending"};
+  obs::ScopedRegistration obs_registration_;
 
   std::mutex hooks_mu_;
   uint64_t next_hook_token_ = 1;

@@ -13,6 +13,8 @@ LockClerk::LockClerk(LockServiceClient* service)
 
 LockClerk::LockClerk(LockServiceClient* service, Options options)
     : service_(service), options_(options) {
+  obs_registration_.AddAll(global_acquires_, local_grants_, revokes_handled_,
+                           forced_releases_, deescalations_);
   worker_ = std::thread([this] { WorkerLoop(); });
 }
 
@@ -62,6 +64,7 @@ Status LockClerk::Acquire(LockId id, LockMode mode,
     return Status(ErrorCode::kInvalidArgument,
                   "clerk acquires S/X/SH/XH modes only");
   }
+  AERIE_SPAN("clerk", "acquire");
   const uint64_t deadline_ns =
       NowNanos() + options_.local_wait_timeout_ms * 1'000'000;
 
@@ -101,7 +104,7 @@ Status LockClerk::Acquire(LockId id, LockMode mode,
             e.readers++;
           }
           e.last_used_ns = NowNanos();
-          local_grants_.fetch_add(1, std::memory_order_relaxed);
+          local_grants_.Add(1);
           break;
         }
         // Local contention: fall through to wait.
@@ -133,7 +136,7 @@ Status LockClerk::Acquire(LockId id, LockMode mode,
                                                ? intent
                                                : ae.global,
                                            intent);
-            global_acquires_.fetch_add(1, std::memory_order_relaxed);
+            global_acquires_.Add(1);
           }
         }
         if (st.ok()) {
@@ -144,7 +147,7 @@ Status LockClerk::Acquire(LockId id, LockMode mode,
           result = st;
           break;
         }
-        global_acquires_.fetch_add(1, std::memory_order_relaxed);
+        global_acquires_.Add(1);
         e.global = LockModeStrengthen(
             held == LockMode::kFree ? mode : held, mode);
         // Record the hierarchy dependency chain: a lock acquired under an
@@ -193,6 +196,7 @@ void LockClerk::Release(LockId id) {
 }
 
 Status LockClerk::DrainAndReleaseGlobal(LockId id, bool downgrade_to_intent) {
+  AERIE_SPAN("clerk", "drain_release");
   std::unique_lock lk(mu_);
   auto it = entries_.find(id);
   if (it == entries_.end()) {
@@ -226,7 +230,7 @@ Status LockClerk::DrainAndReleaseGlobal(LockId id, bool downgrade_to_intent) {
     e.cv.wait_for(lk, std::chrono::microseconds(100));
   }
   if (e.readers > 0 || e.writer) {
-    forced_releases_.fetch_add(1, std::memory_order_relaxed);
+    forced_releases_.Add(1);
   }
 
   // De-escalation (paper §5.3.4): locally-covered descendants still in use
@@ -255,11 +259,14 @@ Status LockClerk::DrainAndReleaseGlobal(LockId id, bool downgrade_to_intent) {
   ReleaseHook hook = release_hook_;
   lk.unlock();
 
+  if (!escalate.empty()) {
+    deescalations_.Add(escalate.size());
+  }
   for (const auto& [child, child_mode] : escalate) {
     // Parent lock is still held, so these cannot conflict.
     Status st = service_->Acquire(child, child_mode, /*wait=*/true);
     if (st.ok()) {
-      global_acquires_.fetch_add(1, std::memory_order_relaxed);
+      global_acquires_.Add(1);
     }
   }
   // Ship batched metadata before the lock becomes visible to others.
@@ -379,7 +386,7 @@ void LockClerk::OnLeaseExpired() {
 
 void LockClerk::HandleRevoke(LockId id, LockMode wanted) {
   (void)wanted;
-  revokes_handled_.fetch_add(1, std::memory_order_relaxed);
+  revokes_handled_.Add(1);
   // If we hold only an intent-mode residue protecting escalated children,
   // those children must be drained first (hierarchy protocol: a child's
   // global lock requires the parent intent lock).

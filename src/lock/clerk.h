@@ -39,6 +39,7 @@
 #include "src/common/status.h"
 #include "src/lock/lock_proto.h"
 #include "src/lock/lock_service.h"
+#include "src/obs/obs.h"
 
 namespace aerie {
 
@@ -98,11 +99,14 @@ class LockClerk final : public RevocationSink {
   LockId GlobalAuthorityOf(LockId id) const;
   bool LocallyHeld(LockId id) const;
   bool lease_lost() const { return lease_lost_.load(); }
-  uint64_t global_acquires() const { return global_acquires_.load(); }
-  uint64_t local_grants() const { return local_grants_.load(); }
-  uint64_t revokes_handled() const { return revokes_handled_.load(); }
+  uint64_t global_acquires() const { return global_acquires_.value(); }
+  uint64_t local_grants() const { return local_grants_.value(); }
+  uint64_t revokes_handled() const { return revokes_handled_.value(); }
   // Locks released while a local user still held them (drain timeout).
-  uint64_t forced_releases() const { return forced_releases_.load(); }
+  uint64_t forced_releases() const { return forced_releases_.value(); }
+  // Covered descendants escalated to explicit global locks during a drain
+  // (paper §5.3.4 de-escalation).
+  uint64_t deescalations() const { return deescalations_.value(); }
 
   // Processes queued revocations inline (tests that have no worker races).
   void DrainRevocationsForTesting();
@@ -178,10 +182,14 @@ class LockClerk final : public RevocationSink {
 
   std::atomic<bool> lease_lost_{false};
   std::atomic<bool> renewal_stopped_{false};
-  std::atomic<uint64_t> global_acquires_{0};
-  std::atomic<uint64_t> local_grants_{0};
-  std::atomic<uint64_t> revokes_handled_{0};
-  std::atomic<uint64_t> forced_releases_{0};
+  // Clerk statistics live in the obs registry for the clerk's lifetime: a
+  // local grant is a lock-cache hit, a global acquire a miss.
+  obs::Counter global_acquires_{"clerk.acquire.global"};
+  obs::Counter local_grants_{"clerk.grant.local"};
+  obs::Counter revokes_handled_{"clerk.revoke.handled"};
+  obs::Counter forced_releases_{"clerk.release.forced"};
+  obs::Counter deescalations_{"clerk.deescalate.count"};
+  obs::ScopedRegistration obs_registration_;
 };
 
 }  // namespace aerie

@@ -5,6 +5,7 @@
 
 #include "src/common/check.h"
 #include "src/common/clock.h"
+#include "src/obs/obs.h"
 #include "src/rpc/wire.h"
 
 namespace aerie {
@@ -102,6 +103,8 @@ void LockService::DropAllLocked(uint64_t client_id, bool notify_sink) {
 
 Status LockService::Acquire(uint64_t client_id, LockId id, LockMode mode,
                             bool wait) {
+  AERIE_SPAN("lockservice", "acquire");
+  AERIE_COUNT("lockservice.acquire.count");
   if (mode == LockMode::kFree) {
     return Status(ErrorCode::kInvalidArgument, "cannot acquire kFree");
   }
@@ -210,6 +213,8 @@ Status LockService::Acquire(uint64_t client_id, LockId id, LockMode mode,
 }
 
 Status LockService::Release(uint64_t client_id, LockId id) {
+  AERIE_SPAN("lockservice", "release");
+  AERIE_COUNT("lockservice.release.count");
   std::lock_guard lk(mu_);
   auto lit = locks_.find(id);
   if (lit == locks_.end() ||
@@ -229,6 +234,8 @@ Status LockService::Release(uint64_t client_id, LockId id) {
 }
 
 Status LockService::Downgrade(uint64_t client_id, LockId id, LockMode to) {
+  AERIE_SPAN("lockservice", "downgrade");
+  AERIE_COUNT("lockservice.downgrade.count");
   std::lock_guard lk(mu_);
   auto lit = locks_.find(id);
   if (lit == locks_.end()) {
@@ -268,6 +275,10 @@ LockMode LockService::HeldMode(uint64_t client_id, LockId id) const {
 }
 
 void LockService::RegisterRpc(RpcDispatcher* dispatcher) {
+  obs::SetRpcMethodName(kLockRpcAcquire, "lock.acquire");
+  obs::SetRpcMethodName(kLockRpcRelease, "lock.release");
+  obs::SetRpcMethodName(kLockRpcDowngrade, "lock.downgrade");
+  obs::SetRpcMethodName(kLockRpcRenew, "lock.renew");
   dispatcher->Register(
       kLockRpcAcquire,
       [this](uint64_t client, std::string_view req) -> Result<std::string> {

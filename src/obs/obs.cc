@@ -1,0 +1,456 @@
+#include "src/obs/obs.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace aerie {
+namespace obs {
+
+namespace detail {
+
+int InitModeFromEnv() {
+  // Racing first readers both parse the same environment; the exchange is
+  // idempotent.
+  const char* env = std::getenv("AERIE_OBS");
+  const int mode = static_cast<int>(
+      env != nullptr ? ParseMode(env) : Mode::kCounters);
+  g_mode.store(mode, std::memory_order_relaxed);
+  return mode;
+}
+
+}  // namespace detail
+
+Mode ParseMode(std::string_view text) {
+  if (text == "off" || text == "0" || text == "none") {
+    return Mode::kOff;
+  }
+  if (text == "spans" || text == "2" || text == "all") {
+    return Mode::kSpans;
+  }
+  return Mode::kCounters;
+}
+
+void SetMode(Mode mode) {
+  detail::g_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+ScopedSpan*& TlsCurrentSpan() {
+  static thread_local ScopedSpan* current = nullptr;
+  return current;
+}
+
+Histogram LatencyHistogram::Snapshot() const {
+  Histogram out;
+  for (const Shard& shard : shards_) {
+    shard.lock.lock();
+    out.Merge(shard.hist);
+    shard.lock.unlock();
+  }
+  return out;
+}
+
+void LatencyHistogram::Reset() {
+  for (Shard& shard : shards_) {
+    shard.lock.lock();
+    shard.hist.Clear();
+    shard.lock.unlock();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+namespace {
+
+struct RegistryState {
+  mutable std::mutex mu;
+  // Interned metrics, owned. Key is the metric name.
+  std::map<std::string, std::unique_ptr<Metric>, std::less<>> interned;
+  // Caller-owned instance metrics (may repeat names across instances).
+  std::vector<Metric*> instances;
+
+  // RPC method bookkeeping.
+  std::unordered_map<uint32_t, std::string> rpc_names;
+  std::unordered_map<uint32_t, std::unique_ptr<RpcMethodStats>> rpc_stats;
+};
+
+RegistryState& State() {
+  static RegistryState* state = new RegistryState();  // leaked: outlives users
+  return *state;
+}
+
+template <typename MetricT>
+MetricT& InternAs(std::string_view name, Metric::Kind kind) {
+  RegistryState& state = State();
+  std::lock_guard lock(state.mu);
+  auto it = state.interned.find(name);
+  if (it == state.interned.end()) {
+    auto metric = std::make_unique<MetricT>(std::string(name));
+    MetricT& ref = *metric;
+    state.interned.emplace(std::string(name), std::move(metric));
+    return ref;
+  }
+  // Kinds share one namespace; interning the same name as a different kind
+  // is a naming bug. Return a fresh unregistered metric so the caller's
+  // static reference is still usable.
+  if (it->second->kind() != kind) {
+    static MetricT* fallback = new MetricT("obs.name_kind_clash");
+    return *fallback;
+  }
+  return static_cast<MetricT&>(*it->second);
+}
+
+}  // namespace
+
+Registry& Registry::Instance() {
+  static Registry* registry = new Registry();  // leaked: outlives all users
+  return *registry;
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  return InternAs<Counter>(name, Metric::Kind::kCounter);
+}
+Gauge& Registry::GetGauge(std::string_view name) {
+  return InternAs<Gauge>(name, Metric::Kind::kGauge);
+}
+LatencyHistogram& Registry::GetHistogram(std::string_view name) {
+  return InternAs<LatencyHistogram>(name, Metric::Kind::kHistogram);
+}
+SpanStat& Registry::GetSpan(std::string_view name) {
+  return InternAs<SpanStat>(name, Metric::Kind::kSpan);
+}
+
+void Registry::Register(Metric* metric) {
+  RegistryState& state = State();
+  std::lock_guard lock(state.mu);
+  state.instances.push_back(metric);
+}
+
+void Registry::Unregister(Metric* metric) {
+  RegistryState& state = State();
+  std::lock_guard lock(state.mu);
+  auto it = std::find(state.instances.begin(), state.instances.end(), metric);
+  if (it != state.instances.end()) {
+    state.instances.erase(it);
+  }
+}
+
+size_t Registry::MetricCountForTesting() const {
+  RegistryState& state = State();
+  std::lock_guard lock(state.mu);
+  return state.interned.size() + state.instances.size();
+}
+
+namespace {
+
+void MergeInto(std::map<std::string, MetricSnapshot>& out,
+               const Metric& metric) {
+  auto [it, inserted] = out.try_emplace(metric.name());
+  MetricSnapshot& snap = it->second;
+  if (inserted) {
+    snap.name = metric.name();
+    snap.kind = metric.kind();
+  } else if (snap.kind != metric.kind()) {
+    return;  // same name, different kind: keep the first
+  }
+  switch (metric.kind()) {
+    case Metric::Kind::kCounter:
+      snap.counter += static_cast<const Counter&>(metric).value();
+      break;
+    case Metric::Kind::kGauge:
+      snap.gauge += static_cast<const Gauge&>(metric).value();
+      break;
+    case Metric::Kind::kHistogram:
+      snap.hist.Merge(
+          static_cast<const LatencyHistogram&>(metric).Snapshot());
+      break;
+    case Metric::Kind::kSpan: {
+      const auto& span = static_cast<const SpanStat&>(metric);
+      snap.hist.Merge(span.SelfSnapshot());
+      snap.span_total_ns += span.total_ns();
+      snap.span_self_ns += span.self_ns();
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<MetricSnapshot> Registry::Collect() const {
+  RegistryState& state = State();
+  std::map<std::string, MetricSnapshot> merged;
+  {
+    std::lock_guard lock(state.mu);
+    for (const auto& [name, metric] : state.interned) {
+      MergeInto(merged, *metric);
+    }
+    for (const Metric* metric : state.instances) {
+      MergeInto(merged, *metric);
+    }
+  }
+  std::vector<MetricSnapshot> out;
+  out.reserve(merged.size());
+  for (auto& [name, snap] : merged) {
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+void Registry::ResetAll() {
+  RegistryState& state = State();
+  std::lock_guard lock(state.mu);
+  for (const auto& [name, metric] : state.interned) {
+    metric->Reset();
+  }
+  for (Metric* metric : state.instances) {
+    metric->Reset();
+  }
+}
+
+void ResetAll() { Registry::Instance().ResetAll(); }
+
+// ---------------------------------------------------------------------------
+// RPC method stats
+
+void SetRpcMethodName(uint32_t method, std::string_view name) {
+  RegistryState& state = State();
+  std::lock_guard lock(state.mu);
+  state.rpc_names[method] = std::string(name);
+}
+
+RpcMethodStats& RpcMethodStatsFor(uint32_t method) {
+  Registry& registry = Registry::Instance();
+  RegistryState& state = State();
+  std::string base;
+  {
+    std::lock_guard lock(state.mu);
+    auto it = state.rpc_stats.find(method);
+    if (it != state.rpc_stats.end()) {
+      return *it->second;
+    }
+    auto nit = state.rpc_names.find(method);
+    if (nit != state.rpc_names.end()) {
+      base = "rpc." + nit->second;
+    } else {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "rpc.m%04x", method);
+      base = buf;
+    }
+  }
+  // Intern outside the registry lock (GetCounter takes it again), then
+  // publish; a racing creator wins or loses idempotently.
+  auto stats = std::make_unique<RpcMethodStats>(RpcMethodStats{
+      registry.GetCounter(base + ".calls"),
+      registry.GetCounter(base + ".bytes_out"),
+      registry.GetCounter(base + ".bytes_in"),
+      registry.GetSpan(base),
+  });
+  std::lock_guard lock(state.mu);
+  auto [it, inserted] = state.rpc_stats.emplace(method, std::move(stats));
+  return *it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+
+namespace {
+
+const char* ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kOff:
+      return "off";
+    case Mode::kCounters:
+      return "counters";
+    case Mode::kSpans:
+      return "spans";
+  }
+  return "?";
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+struct LayerRow {
+  std::string layer;
+  uint64_t spans = 0;
+  uint64_t self_ns = 0;
+  uint64_t total_ns = 0;
+};
+
+std::vector<LayerRow> LayerRows(const std::vector<MetricSnapshot>& snaps) {
+  std::map<std::string, LayerRow> layers;
+  for (const MetricSnapshot& snap : snaps) {
+    if (snap.kind != Metric::Kind::kSpan || snap.hist.count() == 0) {
+      continue;
+    }
+    const size_t dot = snap.name.find('.');
+    const std::string layer =
+        dot == std::string::npos ? snap.name : snap.name.substr(0, dot);
+    LayerRow& row = layers[layer];
+    row.layer = layer;
+    row.spans += snap.hist.count();
+    row.self_ns += snap.span_self_ns;
+    row.total_ns += snap.span_total_ns;
+  }
+  std::vector<LayerRow> out;
+  out.reserve(layers.size());
+  for (auto& [name, row] : layers) {
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string DumpText() {
+  const auto snaps = Registry::Instance().Collect();
+  std::string out = "== aerie obs (mode=";
+  out += ModeName(CurrentMode());
+  out += ") ==\n";
+  char buf[256];
+  for (const MetricSnapshot& snap : snaps) {
+    switch (snap.kind) {
+      case Metric::Kind::kCounter:
+        std::snprintf(buf, sizeof(buf), "counter %-40s %llu\n",
+                      snap.name.c_str(),
+                      static_cast<unsigned long long>(snap.counter));
+        break;
+      case Metric::Kind::kGauge:
+        std::snprintf(buf, sizeof(buf), "gauge   %-40s %lld\n",
+                      snap.name.c_str(), static_cast<long long>(snap.gauge));
+        break;
+      case Metric::Kind::kHistogram:
+        std::snprintf(buf, sizeof(buf), "hist    %-40s %s\n",
+                      snap.name.c_str(), snap.hist.SummaryString().c_str());
+        break;
+      case Metric::Kind::kSpan:
+        std::snprintf(
+            buf, sizeof(buf),
+            "span    %-40s self{%s} total=%.2fms\n", snap.name.c_str(),
+            snap.hist.SummaryString().c_str(),
+            static_cast<double>(snap.span_total_ns) / 1e6);
+        break;
+    }
+    out += buf;
+  }
+  return out;
+}
+
+std::string DumpJson() {
+  const auto snaps = Registry::Instance().Collect();
+  std::string out = "{\"mode\":\"";
+  out += ModeName(CurrentMode());
+  out += "\"";
+  char buf[192];
+
+  const Metric::Kind kinds[] = {Metric::Kind::kCounter, Metric::Kind::kGauge,
+                                Metric::Kind::kHistogram,
+                                Metric::Kind::kSpan};
+  const char* sections[] = {"counters", "gauges", "histograms", "spans"};
+  for (int k = 0; k < 4; ++k) {
+    out += ",\"";
+    out += sections[k];
+    out += "\":{";
+    bool first = true;
+    for (const MetricSnapshot& snap : snaps) {
+      if (snap.kind != kinds[k]) {
+        continue;
+      }
+      if (!first) {
+        out += ",";
+      }
+      first = false;
+      out += "\"" + JsonEscape(snap.name) + "\":";
+      switch (snap.kind) {
+        case Metric::Kind::kCounter:
+          std::snprintf(buf, sizeof(buf), "%llu",
+                        static_cast<unsigned long long>(snap.counter));
+          out += buf;
+          break;
+        case Metric::Kind::kGauge:
+          std::snprintf(buf, sizeof(buf), "%lld",
+                        static_cast<long long>(snap.gauge));
+          out += buf;
+          break;
+        case Metric::Kind::kHistogram:
+          out += snap.hist.ToJson();
+          break;
+        case Metric::Kind::kSpan:
+          std::snprintf(buf, sizeof(buf),
+                        "{\"total_ns\":%llu,\"self_ns\":%llu,\"self\":",
+                        static_cast<unsigned long long>(snap.span_total_ns),
+                        static_cast<unsigned long long>(snap.span_self_ns));
+          out += buf;
+          out += snap.hist.ToJson();
+          out += "}";
+          break;
+      }
+    }
+    out += "}";
+  }
+
+  out += ",\"layers\":{";
+  bool first = true;
+  for (const LayerRow& row : LayerRows(snaps)) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "\"%s\":{\"spans\":%llu,\"self_ns\":%llu,"
+                  "\"total_ns\":%llu}",
+                  JsonEscape(row.layer).c_str(),
+                  static_cast<unsigned long long>(row.spans),
+                  static_cast<unsigned long long>(row.self_ns),
+                  static_cast<unsigned long long>(row.total_ns));
+    out += buf;
+  }
+  out += "}}";
+  return out;
+}
+
+std::string LayerBreakdownText() {
+  const auto rows = LayerRows(Registry::Instance().Collect());
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-12s %12s %14s %14s %10s\n", "layer",
+                "spans", "self(ms)", "incl(ms)", "self/span(us)");
+  out += buf;
+  uint64_t total_self = 0;
+  for (const LayerRow& row : rows) {
+    total_self += row.self_ns;
+  }
+  for (const LayerRow& row : rows) {
+    std::snprintf(
+        buf, sizeof(buf), "%-12s %12llu %14.2f %14.2f %10.2f\n",
+        row.layer.c_str(), static_cast<unsigned long long>(row.spans),
+        static_cast<double>(row.self_ns) / 1e6,
+        static_cast<double>(row.total_ns) / 1e6,
+        row.spans > 0
+            ? static_cast<double>(row.self_ns) / 1e3 /
+                  static_cast<double>(row.spans)
+            : 0.0);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%-12s %12s %14.2f\n", "(sum)", "",
+                static_cast<double>(total_self) / 1e6);
+  out += buf;
+  return out;
+}
+
+}  // namespace obs
+}  // namespace aerie

@@ -1,0 +1,415 @@
+// Unified observability layer: process-wide metrics registry + trace spans.
+//
+// The paper's headline argument (Fig. 1, Table 1, §7) attributes latency to
+// layers — VFS entry vs. naming vs. locking vs. RPC vs. SCM flushes. This
+// module is the measurement substrate for the same breakdown on the Aerie
+// side: every runtime layer (pxfs/flatfs API, name cache, clerk, RPC
+// transport, TFS, txlog, SCM primitives) reports into one registry, and the
+// benches print one per-layer table from it.
+//
+// Primitives:
+//   * Counter   — monotonically increasing u64 (relaxed atomic).
+//   * Gauge     — signed instantaneous value (relaxed atomic).
+//   * LatencyHistogram — aerie::Histogram sharded across threads; recording
+//     takes a per-shard spinlock that is effectively uncontended (shards are
+//     selected by a per-thread id), so the hot path stays allocation-free.
+//   * SpanStat / ScopedSpan / AERIE_SPAN(layer, op) — scoped wall-time spans.
+//     Spans nest through a thread-local chain: a child's wall time is
+//     subtracted from its parent, so each layer's *self* time is exclusive
+//     and per-layer self times sum to end-to-end wall time.
+//
+// Metrics are either *interned* (Registry::GetCounter("layer.op.metric");
+// live forever; the AERIE_SPAN macro interns once per call site via a
+// function-local static) or *instance* metrics (owned by an object such as
+// ScmStats, registered for the object's lifetime; the exporter aggregates
+// same-named instances).
+//
+// Gating: the AERIE_OBS environment variable (off | counters | spans;
+// default counters) selects the recording level. Every record path is
+// guarded by a single relaxed load + branch, so `off` costs one predictable
+// branch per call site. obs::SetMode() overrides the environment at runtime
+// (benches enable span mode only for their breakdown pass).
+//
+// Naming convention: `layer.op.metric`, e.g. `scm.flush.lines`,
+// `clerk.acquire.global`, `rpc.tfs.apply_batch.bytes_out`. Span names are
+// `layer.op`; the exporter derives the layer table from the prefix before
+// the first '.'.
+#ifndef AERIE_SRC_OBS_OBS_H_
+#define AERIE_SRC_OBS_OBS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/histogram.h"
+
+namespace aerie {
+namespace obs {
+
+enum class Mode : int {
+  kOff = 0,       // record nothing
+  kCounters = 1,  // counters, gauges, histograms
+  kSpans = 2,     // everything, including trace spans
+};
+
+namespace detail {
+// -1 = "not yet initialized from AERIE_OBS"; constant-initialized so there
+// is no static-init-order hazard. First reader parses the environment.
+inline std::atomic<int> g_mode{-1};
+int InitModeFromEnv();  // parses AERIE_OBS, stores and returns the mode
+}  // namespace detail
+
+inline int ModeRaw() {
+  const int m = detail::g_mode.load(std::memory_order_relaxed);
+  if (m >= 0) [[likely]] {
+    return m;
+  }
+  return detail::InitModeFromEnv();
+}
+
+inline Mode CurrentMode() { return static_cast<Mode>(ModeRaw()); }
+void SetMode(Mode mode);
+// Parses "off"/"counters"/"spans" (anything else -> kCounters).
+Mode ParseMode(std::string_view text);
+
+// The single-branch gates every hot path uses.
+inline bool CountersOn() {
+  return ModeRaw() >= static_cast<int>(Mode::kCounters);
+}
+inline bool SpansOn() { return ModeRaw() >= static_cast<int>(Mode::kSpans); }
+
+class Registry;
+
+// Base for everything the registry can enumerate.
+class Metric {
+ public:
+  enum class Kind { kCounter, kGauge, kHistogram, kSpan };
+
+  virtual ~Metric() = default;
+  Metric(const Metric&) = delete;
+  Metric& operator=(const Metric&) = delete;
+
+  const std::string& name() const { return name_; }
+  Kind kind() const { return kind_; }
+  virtual void Reset() = 0;
+
+ protected:
+  Metric(std::string name, Kind kind) : name_(std::move(name)), kind_(kind) {}
+
+ private:
+  std::string name_;
+  Kind kind_;
+};
+
+class Counter final : public Metric {
+ public:
+  explicit Counter(std::string name)
+      : Metric(std::move(name), Kind::kCounter) {}
+
+  void Add(uint64_t n = 1) {
+    if (CountersOn()) {
+      value_.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  // std::atomic-compatible spelling; keeps migrated call sites (ScmStats,
+  // VfsStats) reading the way they always did.
+  uint64_t load() const { return value(); }
+  void Reset() override { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge final : public Metric {
+ public:
+  explicit Gauge(std::string name) : Metric(std::move(name), Kind::kGauge) {}
+
+  void Set(int64_t v) {
+    if (CountersOn()) {
+      value_.store(v, std::memory_order_relaxed);
+    }
+  }
+  void Add(int64_t n) {
+    if (CountersOn()) {
+      value_.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  void Sub(int64_t n) { Add(-n); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() override { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+namespace detail {
+
+class SpinLock {
+ public:
+  void lock() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+#if defined(__x86_64__)
+      __builtin_ia32_pause();
+#endif
+    }
+  }
+  void unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+// Small dense per-thread id used to pick a histogram shard.
+inline uint32_t ThreadShardId() {
+  static std::atomic<uint32_t> next{0};
+  static thread_local uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace detail
+
+// aerie::Histogram sharded across threads. Recording locks one shard
+// spinlock; threads map to shards by a dense thread id, so the lock is
+// uncontended unless thread count far exceeds kShards.
+class LatencyHistogram final : public Metric {
+ public:
+  explicit LatencyHistogram(std::string name)
+      : Metric(std::move(name), Kind::kHistogram) {}
+
+  void Record(uint64_t value) {
+    if (CountersOn()) {
+      RecordAlways(value);
+    }
+  }
+
+  // Merged view across shards.
+  Histogram Snapshot() const;
+  void Reset() override;
+
+ private:
+  friend class SpanStat;
+
+  void RecordAlways(uint64_t value) {
+    Shard& shard = shards_[detail::ThreadShardId() % kShards];
+    shard.lock.lock();
+    shard.hist.Record(value);
+    shard.lock.unlock();
+  }
+
+  static constexpr uint32_t kShards = 8;
+  struct alignas(64) Shard {
+    mutable detail::SpinLock lock;
+    Histogram hist;
+  };
+  mutable std::array<Shard, kShards> shards_;
+};
+
+// Aggregate for one span call-site family (one `layer.op`): a histogram of
+// *self* time plus exact running sums for attribution arithmetic.
+class SpanStat final : public Metric {
+ public:
+  explicit SpanStat(std::string name)
+      : Metric(std::move(name), Kind::kSpan), self_hist_(std::string()) {}
+
+  void Record(uint64_t total_ns, uint64_t self_ns) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    total_ns_.fetch_add(total_ns, std::memory_order_relaxed);
+    self_ns_.fetch_add(self_ns, std::memory_order_relaxed);
+    self_hist_.RecordAlways(self_ns);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  // Inclusive wall time (child spans included).
+  uint64_t total_ns() const {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  // Exclusive wall time (child spans subtracted).
+  uint64_t self_ns() const { return self_ns_.load(std::memory_order_relaxed); }
+  Histogram SelfSnapshot() const { return self_hist_.Snapshot(); }
+
+  void Reset() override {
+    count_.store(0, std::memory_order_relaxed);
+    total_ns_.store(0, std::memory_order_relaxed);
+    self_ns_.store(0, std::memory_order_relaxed);
+    self_hist_.Reset();
+  }
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> total_ns_{0};
+  std::atomic<uint64_t> self_ns_{0};
+  LatencyHistogram self_hist_;
+};
+
+// Accessor for the thread's innermost live span (defined in obs.cc).
+class ScopedSpan;
+ScopedSpan*& TlsCurrentSpan();
+
+// RAII span. Inert (one branch) unless mode is `spans`. Safe to construct
+// with a null stat (records nothing).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(SpanStat* stat) {
+    if (stat == nullptr || !SpansOn()) {
+      return;
+    }
+    stat_ = stat;
+    ScopedSpan*& tls = TlsCurrentSpan();
+    parent_ = tls;
+    tls = this;
+    start_ns_ = NowNanos();
+  }
+
+  ~ScopedSpan() {
+    if (stat_ == nullptr) {
+      return;
+    }
+    const uint64_t total = NowNanos() - start_ns_;
+    TlsCurrentSpan() = parent_;
+    if (parent_ != nullptr) {
+      parent_->child_ns_ += total;
+    }
+    stat_->Record(total, total >= child_ns_ ? total - child_ns_ : 0);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanStat* stat_ = nullptr;
+  ScopedSpan* parent_ = nullptr;
+  uint64_t start_ns_ = 0;
+  uint64_t child_ns_ = 0;  // wall time spent in nested spans
+};
+
+// One row of an exporter snapshot; same-named instance metrics are merged.
+struct MetricSnapshot {
+  std::string name;
+  Metric::Kind kind;
+  uint64_t counter = 0;    // kCounter
+  int64_t gauge = 0;       // kGauge
+  Histogram hist;          // kHistogram (values), kSpan (self time)
+  uint64_t span_total_ns = 0;
+  uint64_t span_self_ns = 0;
+};
+
+class Registry {
+ public:
+  static Registry& Instance();
+
+  // Interned metrics: one per name, live for the process lifetime.
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  LatencyHistogram& GetHistogram(std::string_view name);
+  SpanStat& GetSpan(std::string_view name);
+
+  // Instance metrics owned by some object (per-region ScmStats, per-VFS
+  // VfsStats, per-clerk counters). The object must Unregister before dying.
+  void Register(Metric* metric);
+  void Unregister(Metric* metric);
+
+  // Aggregated snapshot, sorted by name; same-named metrics are merged
+  // (counters/gauges summed, histograms merged).
+  std::vector<MetricSnapshot> Collect() const;
+
+  // Zeroes every live metric (bench epochs).
+  void ResetAll();
+
+  size_t MetricCountForTesting() const;
+
+ private:
+  Registry() = default;
+};
+
+// Registers a set of instance metrics and unregisters them on destruction.
+// Declare it AFTER the metrics it guards so unregistration runs first.
+class ScopedRegistration {
+ public:
+  ScopedRegistration() = default;
+  ~ScopedRegistration() {
+    for (Metric* m : metrics_) {
+      Registry::Instance().Unregister(m);
+    }
+  }
+  ScopedRegistration(const ScopedRegistration&) = delete;
+  ScopedRegistration& operator=(const ScopedRegistration&) = delete;
+
+  void Add(Metric* metric) {
+    Registry::Instance().Register(metric);
+    metrics_.push_back(metric);
+  }
+  template <typename... Ms>
+  void AddAll(Ms&... metrics) {
+    (Add(&metrics), ...);
+  }
+
+ private:
+  std::vector<Metric*> metrics_;
+};
+
+// --- Exporters (benches print these; EXPERIMENTS.md records the JSON) ---
+
+// Human-readable dump of every metric, sorted by name.
+std::string DumpText();
+// One JSON object: {"mode":..., "counters":{...}, "gauges":{...},
+// "histograms":{name: summary...}, "spans":{...}, "layers":{...}} where
+// "layers" aggregates span self-time by the `layer` name prefix.
+std::string DumpJson();
+// Per-layer table (layer, spans, self ms, mean self us) from span data.
+std::string LayerBreakdownText();
+
+// Zeroes all metrics (alias for Registry::Instance().ResetAll()).
+void ResetAll();
+
+// --- RPC method instrumentation -------------------------------------------
+// Transports record per-method call counts and bytes without knowing which
+// subsystem owns a method id; subsystems register readable names when they
+// wire their dispatcher (before the first call, or the id is rendered in
+// hex). Counter names: rpc.<method>.calls / .bytes_out / .bytes_in, span
+// name rpc.<method>.
+struct RpcMethodStats {
+  Counter& calls;
+  Counter& bytes_out;
+  Counter& bytes_in;
+  SpanStat& span;
+};
+void SetRpcMethodName(uint32_t method, std::string_view name);
+RpcMethodStats& RpcMethodStatsFor(uint32_t method);
+
+}  // namespace obs
+}  // namespace aerie
+
+// Scoped trace span: AERIE_SPAN("pxfs", "open") attributes the enclosing
+// scope's wall time to layer "pxfs", op "open". Both arguments must be
+// string literals. Costs one branch when spans are disabled.
+#define AERIE_OBS_CONCAT_(a, b) a##b
+#define AERIE_OBS_CONCAT(a, b) AERIE_OBS_CONCAT_(a, b)
+#define AERIE_SPAN(layer, op)                                               \
+  static ::aerie::obs::SpanStat& AERIE_OBS_CONCAT(aerie_span_stat_,         \
+                                                  __LINE__) =               \
+      ::aerie::obs::Registry::Instance().GetSpan(layer "." op);             \
+  ::aerie::obs::ScopedSpan AERIE_OBS_CONCAT(aerie_span_, __LINE__)(         \
+      ::aerie::obs::SpansOn()                                               \
+          ? &AERIE_OBS_CONCAT(aerie_span_stat_, __LINE__)                   \
+          : nullptr)
+
+// Interned-counter increment: AERIE_COUNT("pxfs.name_cache.hit") or
+// AERIE_COUNT_N("txlog.append.bytes", n). Interns once per call site.
+#define AERIE_COUNT_N(name, n)                                              \
+  do {                                                                      \
+    if (::aerie::obs::CountersOn()) {                                       \
+      static ::aerie::obs::Counter& AERIE_OBS_CONCAT(aerie_counter_,        \
+                                                     __LINE__) =            \
+          ::aerie::obs::Registry::Instance().GetCounter(name);              \
+      AERIE_OBS_CONCAT(aerie_counter_, __LINE__).Add(n);                    \
+    }                                                                       \
+  } while (0)
+#define AERIE_COUNT(name) AERIE_COUNT_N(name, 1)
+
+#endif  // AERIE_SRC_OBS_OBS_H_

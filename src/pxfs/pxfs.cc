@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/common/check.h"
+#include "src/obs/obs.h"
 #include "src/scm/manager.h"
 
 namespace aerie {
@@ -56,6 +57,7 @@ std::string CanonicalPath(const std::vector<std::string>& parts) {
 
 Pxfs::Pxfs(LibFs* fs, const Options& options)
     : fs_(fs), options_(options), ctx_(fs->read_context()) {
+  obs_registration_.AddAll(cache_hits_, cache_misses_);
   // Whenever a global lock leaves this client (paper §6.1):
   //   * if it covered a file this client holds open, tell the TFS the file
   //     is open so unlink-reclaim is deferred ("clients with the file open
@@ -94,6 +96,7 @@ void Pxfs::ClearVolatileState() {
 }
 
 void Pxfs::FlushNameCache() {
+  AERIE_SPAN("namecache", "flush");
   std::lock_guard lock(cache_mu_);
   name_cache_.clear();
 }
@@ -149,6 +152,7 @@ std::shared_ptr<Pxfs::FileShadow> Pxfs::ShadowFor(Oid file, bool create) {
 }
 
 Result<Pxfs::Resolved> Pxfs::Resolve(std::string_view path, bool fill_cache) {
+  AERIE_SPAN("pxfs", "resolve");
   // Relative paths resolve from the working directory and skip the name
   // cache entirely (paper §6.1).
   const bool relative = !path.empty() && path[0] != '/';
@@ -173,17 +177,18 @@ Result<Pxfs::Resolved> Pxfs::Resolve(std::string_view path, bool fill_cache) {
   const std::string canonical = CanonicalPath(parts);
 
   if (options_.name_cache && !relative) {
+    AERIE_SPAN("namecache", "lookup");
     std::lock_guard lock(cache_mu_);
     auto it = name_cache_.find(canonical);
     if (it != name_cache_.end()) {
-      cache_hits_++;
+      cache_hits_.Add(1);
       out.parent = Oid(it->second.parent_raw);
       out.target = Oid(it->second.target_raw);
       out.leaf = parts.back();
       out.ancestors = it->second.ancestors;
       return out;
     }
-    cache_misses_++;
+    cache_misses_.Add(1);
   }
 
   // Walk from the start directory, taking a read lock on each directory
@@ -206,6 +211,7 @@ Result<Pxfs::Resolved> Pxfs::Resolve(std::string_view path, bool fill_cache) {
     ancestors.push_back(cur.lock_id());
     prefix += "/" + parts[i];
     if (options_.name_cache && fill_cache && !relative) {
+      AERIE_SPAN("namecache", "insert");
       std::lock_guard lock(cache_mu_);
       // Entry for each resolved prefix (created on demand, §6.1).
       name_cache_[prefix] =
@@ -226,6 +232,7 @@ Result<Pxfs::Resolved> Pxfs::Resolve(std::string_view path, bool fill_cache) {
   if (target.ok()) {
     out.target = *target;
     if (options_.name_cache && fill_cache && !relative) {
+      AERIE_SPAN("namecache", "insert");
       std::lock_guard lock(cache_mu_);
       if (name_cache_.size() >= options_.name_cache_max) {
         name_cache_.clear();  // cheap wholesale eviction
@@ -254,6 +261,7 @@ uint64_t Pxfs::FileSize(Oid file) {
 // --- Open / Close ----------------------------------------------------------
 
 Result<int> Pxfs::Open(std::string_view path, int flags) {
+  AERIE_SPAN("pxfs", "open");
   if ((flags & (kOpenRead | kOpenWrite)) == 0) {
     return Status(ErrorCode::kInvalidArgument, "open needs read or write");
   }
@@ -344,6 +352,7 @@ Result<int> Pxfs::Open(std::string_view path, int flags) {
 }
 
 Status Pxfs::Close(int fd) {
+  AERIE_SPAN("pxfs", "close");
   std::unique_ptr<FdEntry> entry;
   bool notify_closed = false;
   {
@@ -548,6 +557,7 @@ Result<uint64_t> Pxfs::WriteAt(FdEntry* entry, uint64_t offset,
 }
 
 Result<uint64_t> Pxfs::Read(int fd, std::span<char> out) {
+  AERIE_SPAN("pxfs", "read");
   FdEntry* entry;
   uint64_t offset;
   {
@@ -573,6 +583,7 @@ Result<uint64_t> Pxfs::Read(int fd, std::span<char> out) {
 }
 
 Result<uint64_t> Pxfs::Write(int fd, std::span<const char> data) {
+  AERIE_SPAN("pxfs", "write");
   FdEntry* entry;
   uint64_t offset;
   {
@@ -599,6 +610,7 @@ Result<uint64_t> Pxfs::Write(int fd, std::span<const char> data) {
 }
 
 Result<uint64_t> Pxfs::Pread(int fd, uint64_t offset, std::span<char> out) {
+  AERIE_SPAN("pxfs", "pread");
   std::unique_lock lock(fds_mu_);
   if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() ||
       fds_[static_cast<size_t>(fd)] == nullptr) {
@@ -617,6 +629,7 @@ Result<uint64_t> Pxfs::Pread(int fd, uint64_t offset, std::span<char> out) {
 
 Result<uint64_t> Pxfs::Pwrite(int fd, uint64_t offset,
                               std::span<const char> data) {
+  AERIE_SPAN("pxfs", "pwrite");
   std::unique_lock lock(fds_mu_);
   if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() ||
       fds_[static_cast<size_t>(fd)] == nullptr) {
@@ -634,6 +647,7 @@ Result<uint64_t> Pxfs::Pwrite(int fd, uint64_t offset,
 }
 
 Result<uint64_t> Pxfs::Seek(int fd, uint64_t offset) {
+  AERIE_SPAN("pxfs", "seek");
   std::lock_guard lock(fds_mu_);
   if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() ||
       fds_[static_cast<size_t>(fd)] == nullptr) {
@@ -644,6 +658,7 @@ Result<uint64_t> Pxfs::Seek(int fd, uint64_t offset) {
 }
 
 Status Pxfs::Ftruncate(int fd, uint64_t size) {
+  AERIE_SPAN("pxfs", "ftruncate");
   Oid oid;
   {
     std::lock_guard lock(fds_mu_);
@@ -715,6 +730,7 @@ Status Pxfs::Ftruncate(int fd, uint64_t size) {
 }
 
 Status Pxfs::Fsync(int fd) {
+  AERIE_SPAN("pxfs", "fsync");
   {
     std::lock_guard lock(fds_mu_);
     if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() ||
@@ -727,6 +743,7 @@ Status Pxfs::Fsync(int fd) {
 }
 
 Result<PxfsStat> Pxfs::Fstat(int fd) {
+  AERIE_SPAN("pxfs", "fstat");
   Oid oid;
   {
     std::lock_guard lock(fds_mu_);
@@ -749,11 +766,13 @@ Result<PxfsStat> Pxfs::Fstat(int fd) {
 // --- Namespace operations ----------------------------------------------------
 
 Status Pxfs::Create(std::string_view path) {
+  AERIE_SPAN("pxfs", "create");
   AERIE_ASSIGN_OR_RETURN(int fd, Open(path, kOpenCreate | kOpenWrite));
   return Close(fd);
 }
 
 Status Pxfs::Mkdir(std::string_view path) {
+  AERIE_SPAN("pxfs", "mkdir");
   AERIE_ASSIGN_OR_RETURN(Resolved r, Resolve(path, /*fill_cache=*/false));
   if (!r.target.IsNull()) {
     return Status(ErrorCode::kAlreadyExists, std::string(path));
@@ -822,6 +841,7 @@ Status Pxfs::UnlinkLocked(const Resolved& r) {
 }
 
 Status Pxfs::Unlink(std::string_view path) {
+  AERIE_SPAN("pxfs", "unlink");
   AERIE_ASSIGN_OR_RETURN(Resolved r, Resolve(path, /*fill_cache=*/false));
   if (r.target.IsNull()) {
     return Status(ErrorCode::kNotFound, std::string(path));
@@ -842,6 +862,7 @@ Status Pxfs::Unlink(std::string_view path) {
 }
 
 Status Pxfs::Rmdir(std::string_view path) {
+  AERIE_SPAN("pxfs", "rmdir");
   AERIE_ASSIGN_OR_RETURN(Resolved r, Resolve(path, /*fill_cache=*/false));
   if (r.target.IsNull()) {
     return Status(ErrorCode::kNotFound, std::string(path));
@@ -890,6 +911,7 @@ Status Pxfs::Rmdir(std::string_view path) {
 }
 
 Status Pxfs::Rename(std::string_view from, std::string_view to) {
+  AERIE_SPAN("pxfs", "rename");
   AERIE_ASSIGN_OR_RETURN(Resolved src, Resolve(from, /*fill_cache=*/false));
   AERIE_ASSIGN_OR_RETURN(Resolved dst, Resolve(to, /*fill_cache=*/false));
   if (src.target.IsNull()) {
@@ -958,6 +980,7 @@ Status Pxfs::Rename(std::string_view from, std::string_view to) {
 }
 
 Status Pxfs::Link(std::string_view from, std::string_view to) {
+  AERIE_SPAN("pxfs", "link");
   AERIE_ASSIGN_OR_RETURN(Resolved src, Resolve(from, /*fill_cache=*/false));
   AERIE_ASSIGN_OR_RETURN(Resolved dst, Resolve(to, /*fill_cache=*/false));
   if (src.target.IsNull()) {
@@ -987,6 +1010,7 @@ Status Pxfs::Link(std::string_view from, std::string_view to) {
 }
 
 Result<PxfsStat> Pxfs::Stat(std::string_view path) {
+  AERIE_SPAN("pxfs", "stat");
   AERIE_ASSIGN_OR_RETURN(Resolved r, Resolve(path, /*fill_cache=*/true));
   if (r.target.IsNull()) {
     return Status(ErrorCode::kNotFound, std::string(path));
@@ -1043,6 +1067,7 @@ Result<PxfsStat> Pxfs::Stat(std::string_view path) {
 }
 
 Result<std::vector<PxfsDirent>> Pxfs::ReadDir(std::string_view path) {
+  AERIE_SPAN("pxfs", "readdir");
   AERIE_ASSIGN_OR_RETURN(Resolved r, Resolve(path, /*fill_cache=*/true));
   if (r.target.IsNull()) {
     return Status(ErrorCode::kNotFound, std::string(path));
@@ -1097,6 +1122,7 @@ Result<std::vector<PxfsDirent>> Pxfs::ReadDir(std::string_view path) {
 }
 
 Status Pxfs::Chmod(std::string_view path, uint32_t acl) {
+  AERIE_SPAN("pxfs", "chmod");
   AERIE_ASSIGN_OR_RETURN(Resolved r, Resolve(path, /*fill_cache=*/false));
   if (r.target.IsNull()) {
     return Status(ErrorCode::kNotFound, std::string(path));
@@ -1122,6 +1148,7 @@ Status Pxfs::Chmod(std::string_view path, uint32_t acl) {
 }
 
 Status Pxfs::Truncate(std::string_view path, uint64_t size) {
+  AERIE_SPAN("pxfs", "truncate");
   AERIE_ASSIGN_OR_RETURN(int fd, Open(path, kOpenWrite));
   Status st = Ftruncate(fd, size);
   Status close_st = Close(fd);
@@ -1152,6 +1179,7 @@ std::string Pxfs::cwd() const {
 }
 
 Status Pxfs::SyncAll() {
+  AERIE_SPAN("pxfs", "sync_all");
   ctx_.region->BFlush();
   return fs_->Sync();
 }

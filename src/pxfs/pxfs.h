@@ -41,6 +41,7 @@
 #include "src/common/open_flags.h"
 #include "src/common/status.h"
 #include "src/libfs/client.h"
+#include "src/obs/obs.h"
 #include "src/osd/collection.h"
 #include "src/osd/mfile.h"
 
@@ -124,8 +125,8 @@ class Pxfs {
   LibFs* libfs() { return fs_; }
 
   // --- Introspection (tests / benches) ---
-  uint64_t name_cache_hits() const { return cache_hits_; }
-  uint64_t name_cache_misses() const { return cache_misses_; }
+  uint64_t name_cache_hits() const { return cache_hits_.value(); }
+  uint64_t name_cache_misses() const { return cache_misses_.value(); }
   void FlushNameCache();
 
  private:
@@ -213,8 +214,10 @@ class Pxfs {
 
   std::mutex cache_mu_;
   std::unordered_map<std::string, CacheEntry> name_cache_;
-  uint64_t cache_hits_ = 0;
-  uint64_t cache_misses_ = 0;
+  // Name-cache statistics live in the obs registry for this Pxfs's lifetime.
+  obs::Counter cache_hits_{"pxfs.name_cache.hit"};
+  obs::Counter cache_misses_{"pxfs.name_cache.miss"};
+  obs::ScopedRegistration obs_registration_;
 };
 
 }  // namespace aerie

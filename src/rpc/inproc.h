@@ -23,12 +23,23 @@ class InprocTransport final : public Transport {
 
   Result<std::string> Call(uint32_t method, std::string_view request) override {
     calls_.fetch_add(1, std::memory_order_relaxed);
+    obs::RpcMethodStats* stats = nullptr;
+    if (obs::CountersOn()) {
+      stats = &obs::RpcMethodStatsFor(method);
+      stats->calls.Add(1);
+      stats->bytes_out.Add(request.size());
+    }
+    obs::ScopedSpan span(stats != nullptr && obs::SpansOn() ? &stats->span
+                                                            : nullptr);
     if (round_trip_ns_ != 0) {
       SpinDelayNanos(round_trip_ns_ / 2);
     }
     auto result = dispatcher_->Dispatch(client_id_, method, request);
     if (round_trip_ns_ != 0) {
       SpinDelayNanos(round_trip_ns_ / 2);
+    }
+    if (stats != nullptr && result.ok()) {
+      stats->bytes_in.Add(result.value().size());
     }
     return result;
   }

@@ -200,6 +200,14 @@ Result<std::string> UdsTransport::Call(uint32_t method,
                                        std::string_view request) {
   std::lock_guard lock(mu_);
   calls_.fetch_add(1, std::memory_order_relaxed);
+  obs::RpcMethodStats* stats = nullptr;
+  if (obs::CountersOn()) {
+    stats = &obs::RpcMethodStatsFor(method);
+    stats->calls.Add(1);
+    stats->bytes_out.Add(request.size());
+  }
+  obs::ScopedSpan span(stats != nullptr && obs::SpansOn() ? &stats->span
+                                                          : nullptr);
 
   const uint32_t frame_len =
       static_cast<uint32_t>(sizeof(method) + request.size());
@@ -217,6 +225,9 @@ Result<std::string> UdsTransport::Call(uint32_t method,
   }
   std::string body(resp_len, '\0');
   AERIE_RETURN_IF_ERROR(ReadAll(fd_, body.data(), resp_len));
+  if (stats != nullptr) {
+    stats->bytes_in.Add(resp_len);
+  }
   const uint8_t ok = static_cast<uint8_t>(body[0]);
   if (ok) {
     return body.substr(1);

@@ -17,17 +17,24 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
 
 #include "src/common/status.h"
+#include "src/obs/obs.h"
 
 namespace aerie {
 
 // Server-side method registry. client_id identifies the calling client
 // session (assigned at connect time; clients cannot forge each other's ids
 // because the id is bound to the connection, not the message).
+//
+// Registration is rare and dispatch is hot, so the handler table is a
+// copy-on-write snapshot: Register() rebuilds the map under the lock, while
+// Dispatch() grabs a shared_ptr to the current immutable map and invokes the
+// handler in place — no std::function copy per call.
 class RpcDispatcher {
  public:
   using Handler = std::function<Result<std::string>(uint64_t client_id,
@@ -35,26 +42,31 @@ class RpcDispatcher {
 
   void Register(uint32_t method, Handler handler) {
     std::lock_guard lock(mu_);
-    handlers_[method] = std::move(handler);
+    auto current = handlers_.load(std::memory_order_relaxed);
+    auto next = current ? std::make_shared<HandlerMap>(*current)
+                        : std::make_shared<HandlerMap>();
+    (*next)[method] = std::move(handler);
+    handlers_.store(std::move(next), std::memory_order_release);
   }
 
   Result<std::string> Dispatch(uint64_t client_id, uint32_t method,
                                std::string_view request) const {
-    Handler handler;
-    {
-      std::lock_guard lock(mu_);
-      auto it = handlers_.find(method);
-      if (it == handlers_.end()) {
-        return Status(ErrorCode::kNotSupported, "unknown RPC method");
+    const auto snapshot = handlers_.load(std::memory_order_acquire);
+    if (snapshot) {
+      auto it = snapshot->find(method);
+      if (it != snapshot->end()) {
+        return it->second(client_id, request);
       }
-      handler = it->second;
     }
-    return handler(client_id, request);
+    AERIE_COUNT("rpc.dispatch.unknown");
+    return Status(ErrorCode::kNotSupported, "unknown RPC method");
   }
 
  private:
-  mutable std::mutex mu_;
-  std::map<uint32_t, Handler> handlers_;
+  using HandlerMap = std::map<uint32_t, Handler>;
+
+  mutable std::mutex mu_;  // serializes Register()
+  std::atomic<std::shared_ptr<const HandlerMap>> handlers_;
 };
 
 class Transport {

@@ -66,7 +66,7 @@ ScmRegion::~ScmRegion() {
 }
 
 void ScmRegion::ChargeLines(uint64_t lines) {
-  stats_.lines_flushed.fetch_add(lines, std::memory_order_relaxed);
+  stats_.lines_flushed.Add(lines);
   const uint64_t ns = latency_.write_ns();
   if (ns != 0) {
     SpinDelayNanos(ns * lines);
@@ -74,6 +74,7 @@ void ScmRegion::ChargeLines(uint64_t lines) {
 }
 
 void ScmRegion::WlFlush(const void* addr, size_t len) {
+  AERIE_SPAN("scm", "wl_flush");
   const uint64_t lines = LinesCovering(addr, len);
 #if defined(__x86_64__)
   auto p = reinterpret_cast<uintptr_t>(addr) & ~(kCacheLineSize - 1);
@@ -89,21 +90,22 @@ void ScmRegion::WlFlush(const void* addr, size_t len) {
 
 void ScmRegion::Fence() {
   std::atomic_thread_fence(std::memory_order_seq_cst);
-  stats_.fences.fetch_add(1, std::memory_order_relaxed);
+  stats_.fences.Add(1);
 }
 
 void ScmRegion::StreamWrite(void* dst, const void* src, size_t len) {
   // A portable stand-in for MOVNT streaming stores: a plain copy, with the
   // persistence cost deferred to BFlush() exactly as WC buffering defers it.
   std::memcpy(dst, src, len);
-  stats_.bytes_streamed.fetch_add(len, std::memory_order_relaxed);
+  stats_.bytes_streamed.Add(len);
   pending_wc_lines_.fetch_add(LinesCovering(dst, len),
                               std::memory_order_relaxed);
 }
 
 void ScmRegion::BFlush() {
+  AERIE_SPAN("scm", "bflush");
   std::atomic_thread_fence(std::memory_order_seq_cst);
-  stats_.wc_drains.fetch_add(1, std::memory_order_relaxed);
+  stats_.wc_drains.Add(1);
   const uint64_t lines = pending_wc_lines_.exchange(0);
   ChargeLines(lines);
 }

@@ -26,6 +26,7 @@
 #include <string>
 
 #include "src/common/status.h"
+#include "src/obs/obs.h"
 
 namespace aerie {
 
@@ -47,12 +48,19 @@ struct ScmLatencyModel {
 };
 
 // Counters for persistence traffic; useful in tests and for reasoning about
-// benchmark results.
+// benchmark results. Backed by the obs registry: each region registers its
+// counters for its lifetime, and the exporter merges all live regions under
+// the scm.* names, so benches see one reporting path.
 struct ScmStats {
-  std::atomic<uint64_t> lines_flushed{0};
-  std::atomic<uint64_t> fences{0};
-  std::atomic<uint64_t> bytes_streamed{0};
-  std::atomic<uint64_t> wc_drains{0};
+  obs::Counter lines_flushed{"scm.flush.lines"};
+  obs::Counter fences{"scm.fence.count"};
+  obs::Counter bytes_streamed{"scm.stream.bytes"};
+  obs::Counter wc_drains{"scm.wc_drain.count"};
+  obs::ScopedRegistration registration;
+
+  ScmStats() {
+    registration.AddAll(lines_flushed, fences, bytes_streamed, wc_drains);
+  }
 };
 
 // A contiguous range of emulated SCM mapped into the process.

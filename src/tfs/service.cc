@@ -30,6 +30,7 @@ TrustedFsService::TrustedFsService(Volume* volume, LockService* locks,
       scm_(scm),
       options_(options),
       ctx_(volume->context()) {
+  obs_registration_.AddAll(batches_applied_, ops_applied_, ops_rejected_);
   AERIE_CHECK(ctx_.can_allocate());
   if (!volume_->root_oid().IsNull()) {
     // Existing volume: load system collection.
@@ -527,9 +528,10 @@ Status TrustedFsService::Apply(uint64_t client_id, const MetaOp& op,
 
 Status TrustedFsService::ApplyBatch(uint64_t client_id,
                                     std::string_view batch_blob) {
+  AERIE_SPAN("tfs", "apply_batch");
   auto ops = DecodeBatch(batch_blob);
   if (!ops.ok()) {
-    ops_rejected_++;
+    ops_rejected_.Add(1);
     return ops.status();
   }
 
@@ -547,7 +549,7 @@ Status TrustedFsService::ApplyBatch(uint64_t client_id,
   for (MetaOp& op : *ops) {
     Status st = Validate(client_id, &op);
     if (!st.ok()) {
-      ops_rejected_++;
+      ops_rejected_.Add(1);
       result = st;
       break;
     }
@@ -585,7 +587,7 @@ Status TrustedFsService::ApplyBatch(uint64_t client_id,
     if (!st.ok()) {
       result = st;  // validated ops should not fail; surface and continue
     }
-    ops_applied_++;
+    ops_applied_.Add(1);
   }
 
   // Checkpoint: drop the log once no batch is mid-apply.
@@ -596,11 +598,12 @@ Status TrustedFsService::ApplyBatch(uint64_t client_id,
       log->Truncate();
     }
   }
-  batches_applied_++;
+  batches_applied_.Add(1);
   return result;
 }
 
 Status TrustedFsService::Recover() {
+  AERIE_SPAN("tfs", "recover");
   RedoLog* log = volume_->log();
   AERIE_RETURN_IF_ERROR(log->Replay(
       [this](uint32_t type, std::span<const char> payload) -> Status {
@@ -717,6 +720,7 @@ Result<std::vector<Oid>> TrustedFsService::PoolFill(uint64_t client_id,
                                                     ObjType type,
                                                     uint32_t count,
                                                     uint64_t capacity) {
+  AERIE_SPAN("tfs", "pool_fill");
   if (count == 0 || count > 65536) {
     return Status(ErrorCode::kInvalidArgument, "bad pool fill count");
   }
@@ -946,6 +950,7 @@ Status TrustedFsService::ClientDisconnected(uint64_t client_id) {
 Result<uint64_t> TrustedFsService::ServiceRead(uint64_t client_id, Oid file,
                                                uint64_t offset,
                                                std::span<char> out) {
+  AERIE_SPAN("tfs", "service_read");
   (void)client_id;  // permission checks live at the interface layer
   AERIE_ASSIGN_OR_RETURN(MFile f, MFile::Open(ctx_, file));
   return f.Read(offset, out);
@@ -954,6 +959,7 @@ Result<uint64_t> TrustedFsService::ServiceRead(uint64_t client_id, Oid file,
 Status TrustedFsService::ServiceWrite(uint64_t client_id, Oid file,
                                       uint64_t offset,
                                       std::span<const char> data) {
+  AERIE_SPAN("tfs", "service_write");
   (void)client_id;
   AERIE_ASSIGN_OR_RETURN(MFile f, MFile::Open(ctx_, file));
   if (!f.single_extent()) {
@@ -979,6 +985,13 @@ Status TrustedFsService::ServiceWrite(uint64_t client_id, Oid file,
 // --- RPC wiring ------------------------------------------------------------
 
 void TrustedFsService::RegisterRpc(RpcDispatcher* dispatcher) {
+  obs::SetRpcMethodName(kTfsRpcApplyBatch, "tfs.apply_batch");
+  obs::SetRpcMethodName(kTfsRpcPoolFill, "tfs.pool_fill");
+  obs::SetRpcMethodName(kTfsRpcNotifyOpen, "tfs.notify_open");
+  obs::SetRpcMethodName(kTfsRpcNotifyClosed, "tfs.notify_closed");
+  obs::SetRpcMethodName(kTfsRpcGetRoots, "tfs.get_roots");
+  obs::SetRpcMethodName(kTfsRpcServiceRead, "tfs.service_read");
+  obs::SetRpcMethodName(kTfsRpcServiceWrite, "tfs.service_write");
   dispatcher->Register(
       kTfsRpcApplyBatch,
       [this](uint64_t client, std::string_view req) -> Result<std::string> {

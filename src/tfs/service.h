@@ -34,6 +34,7 @@
 
 #include "src/common/status.h"
 #include "src/lock/lock_service.h"
+#include "src/obs/obs.h"
 #include "src/osd/collection.h"
 #include "src/osd/mfile.h"
 #include "src/osd/volume.h"
@@ -98,9 +99,9 @@ class TrustedFsService {
   void RegisterRpc(RpcDispatcher* dispatcher);
 
   // --- Introspection ---
-  uint64_t batches_applied() const { return batches_applied_; }
-  uint64_t ops_applied() const { return ops_applied_; }
-  uint64_t ops_rejected() const { return ops_rejected_; }
+  uint64_t batches_applied() const { return batches_applied_.value(); }
+  uint64_t ops_applied() const { return ops_applied_.value(); }
+  uint64_t ops_rejected() const { return ops_rejected_.value(); }
   Volume* volume() { return volume_; }
   LockService* locks() { return locks_; }
 
@@ -157,9 +158,11 @@ class TrustedFsService {
 
   std::mutex alloc_mu_;  // serializes pool/orphan collection mutation
 
-  uint64_t batches_applied_ = 0;
-  uint64_t ops_applied_ = 0;
-  uint64_t ops_rejected_ = 0;
+  // Service statistics live in the obs registry for the service's lifetime.
+  obs::Counter batches_applied_{"tfs.batch.applied"};
+  obs::Counter ops_applied_{"tfs.ops.applied"};
+  obs::Counter ops_rejected_{"tfs.ops.rejected"};
+  obs::ScopedRegistration obs_registration_;
   bool crash_after_log_commit_ = false;
 };
 

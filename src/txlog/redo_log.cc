@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/common/hash.h"
+#include "src/obs/obs.h"
 
 namespace aerie {
 
@@ -62,6 +63,7 @@ uint64_t RedoLog::committed_bytes() const {
 }
 
 Status RedoLog::Append(uint32_t type, std::span<const char> payload) {
+  AERIE_SPAN("txlog", "append");
   const uint64_t need =
       AlignUp8(sizeof(RecordHeaderRep) + payload.size());
   if (volatile_tail_ + need > capacity_) {
@@ -80,10 +82,13 @@ Status RedoLog::Append(uint32_t type, std::span<const char> payload) {
     region_->StreamWrite(dst + sizeof(rec), payload.data(), payload.size());
   }
   volatile_tail_ += need;
+  AERIE_COUNT_N("txlog.append.bytes", need);
   return OkStatus();
 }
 
 Status RedoLog::Commit() {
+  AERIE_SPAN("txlog", "commit");
+  AERIE_COUNT("txlog.commit.count");
   // Drain the WC buffers so record bytes are persistent, order the commit
   // pointer after them, then publish with one atomic 64-bit store.
   region_->BFlush();
@@ -94,6 +99,7 @@ Status RedoLog::Commit() {
 }
 
 Status RedoLog::Replay(const ReplayFn& fn) const {
+  AERIE_SPAN("txlog", "replay");
   const uint64_t end = committed_bytes();
   const char* area = RecordArea();
   uint64_t pos = 0;

@@ -139,5 +139,82 @@ TEST(HistogramTest, EmptyIsSafe) {
   EXPECT_EQ(h.Mean(), 0.0);
 }
 
+TEST(HistogramTest, MergeMatchesRecordingEverythingIntoOne) {
+  // Merging per-thread histograms must equal one histogram that saw all
+  // samples: same count, mean, extremes, and every percentile.
+  Histogram combined, a, b;
+  Rng rng(41);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t v = 1 + rng.Next() % 1000000;
+    combined.Record(v);
+    ((i % 2 == 0) ? a : b).Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_DOUBLE_EQ(a.Mean(), combined.Mean());
+  for (double p : {0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 99.9, 100.0}) {
+    EXPECT_EQ(a.Percentile(p), combined.Percentile(p)) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, MergeIntoEmptyAndWithEmpty) {
+  Histogram empty, filled;
+  filled.Record(500);
+  filled.Record(700);
+  Histogram target;
+  target.Merge(filled);  // into empty
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_EQ(target.min(), 500u);
+  EXPECT_EQ(target.max(), 700u);
+  target.Merge(empty);  // with empty: unchanged
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_EQ(target.min(), 500u);
+  EXPECT_EQ(target.max(), 700u);
+}
+
+TEST(HistogramTest, PercentileMonotonicAcrossBucketBoundaries) {
+  // Samples straddling power-of-two bucket boundaries (the log-bucket major
+  // edges) must still yield a monotone percentile curve clamped to
+  // [min, max].
+  Histogram h;
+  for (uint64_t base : {1023u, 1024u, 1025u, 2047u, 2048u, 2049u, 4095u,
+                        4096u, 65535u, 65536u, 65537u}) {
+    for (int rep = 0; rep < 7; ++rep) {
+      h.Record(base);
+    }
+  }
+  uint64_t prev = 0;
+  for (double p = 0.0; p <= 100.0; p += 0.5) {
+    const uint64_t v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "percentile curve regressed at p=" << p;
+    EXPECT_GE(v, h.min());
+    EXPECT_LE(v, h.max());
+    prev = v;
+  }
+  EXPECT_EQ(h.Percentile(0), h.min());
+  EXPECT_EQ(h.Percentile(100), h.max());
+}
+
+TEST(HistogramTest, ToJsonShape) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) {
+    h.Record(v * 1000);
+  }
+  const std::string json = h.ToJson();
+  EXPECT_NE(json.find("\"count\":100"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"min\":1000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max\":100000"), std::string::npos) << json;
+  for (const char* key : {"\"mean\":", "\"p50\":", "\"p95\":", "\"p99\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << json;
+  }
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+
+  Histogram empty;
+  EXPECT_NE(empty.ToJson().find("\"count\":0"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace aerie
