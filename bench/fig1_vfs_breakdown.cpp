@@ -15,6 +15,7 @@
 #include "src/kernelsim/extsim.h"
 #include "src/kernelsim/vfs.h"
 #include "src/obs/obs.h"
+#include "src/obs/trace.h"
 
 namespace aerie {
 namespace {
@@ -198,5 +199,9 @@ int main() {
   std::printf("\n== obs registry (all measured ops) ==\n%s\n",
               obs::DumpText().c_str());
   std::printf("OBS_JSON %s\n", obs::DumpJson().c_str());
+  const std::string trace_path = obs::WriteTraceFileIfConfigured();
+  if (!trace_path.empty()) {
+    std::printf("TRACE_FILE %s\n", trace_path.c_str());
+  }
   return 0;
 }

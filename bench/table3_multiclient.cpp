@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/obs/trace.h"
 
 namespace {
 
@@ -56,8 +57,13 @@ double RunClients(SystemUnderTest* sut, int nclients, bool mix_webproxy,
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> iterations{0};
   std::vector<std::thread> workers;
+  int worker_index = 0;
   for (auto& task : tasks) {
-    workers.emplace_back([&stop, &iterations, &task] {
+    workers.emplace_back([&stop, &iterations, &task,
+                          idx = worker_index++] {
+      if (obs::SpansOn()) {
+        obs::SetThreadTraceName("client" + std::to_string(idx));
+      }
       Histogram ops;
       while (!stop.load(std::memory_order_relaxed)) {
         Status st = task.runner ? task.runner->RunIteration(&ops)
@@ -142,5 +148,11 @@ int main() {
     std::fflush(stdout);
   }
   std::printf("\n");
+  // AERIE_OBS=spans AERIE_TRACE_FILE=trace.json turns the last configuration
+  // into a loadable Perfetto timeline (client tracks + clerk/TFS activity).
+  const std::string trace_path = obs::WriteTraceFileIfConfigured();
+  if (!trace_path.empty()) {
+    std::printf("TRACE_FILE %s\n", trace_path.c_str());
+  }
   return 0;
 }

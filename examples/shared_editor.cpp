@@ -9,6 +9,7 @@
 // change. Finally B deletes the file while A still has it open: A keeps
 // reading through its descriptor until close (unlink-while-open, §6.1).
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "src/libfs/system.h"

@@ -16,3 +16,10 @@ AERIE_BENCH_SCALE=0.2 AERIE_BENCH_SECONDS=2 ./bench/ablation_name_cache
 AERIE_BENCH_SCALE=0.1 AERIE_BENCH_SECONDS=2 ./bench/ablation_lock_modes
 AERIE_BENCH_SCALE=0.05 AERIE_BENCH_SECONDS=1 ./bench/ablation_rpc_cost
 ./bench/gbench_primitives --benchmark_min_time=0.2
+# Per-operation trace pass (separate short runs: span mode perturbs the
+# throughput numbers above). Open the JSON in ui.perfetto.dev.
+AERIE_OBS=spans AERIE_TRACE_FILE=trace_fig1.json \
+  AERIE_BENCH_SCALE=0.02 ./bench/fig1_vfs_breakdown > /dev/null
+AERIE_OBS=spans AERIE_TRACE_FILE=trace_table3.json \
+  AERIE_BENCH_SCALE=0.05 AERIE_BENCH_SECONDS=0.5 ./bench/table3_multiclient > /dev/null
+ls -l trace_fig1.json trace_table3.json

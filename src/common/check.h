@@ -3,17 +3,46 @@
 // AERIE_CHECK aborts on violated internal invariants (never on user error —
 // user-visible failures travel as Status). AERIE_DCHECK compiles out of
 // release builds.
+//
+// A failed AERIE_CHECK runs the registered failure hook (at most once)
+// before aborting; the observability layer installs a hook that dumps the
+// tracing flight recorder so a crash leaves a post-mortem event trail.
 #ifndef AERIE_SRC_COMMON_CHECK_H_
 #define AERIE_SRC_COMMON_CHECK_H_
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+
+namespace aerie {
+namespace detail {
+
+// Header-only so common/ takes no link dependency on obs/.
+inline std::atomic<void (*)()> g_check_failure_hook{nullptr};
+
+// Consumes the hook (exchange with null): a hook that itself fails a CHECK
+// cannot recurse, and concurrent failing threads dump once.
+inline void RunCheckFailureHook() {
+  void (*hook)() = g_check_failure_hook.exchange(nullptr);
+  if (hook != nullptr) {
+    hook();
+  }
+}
+
+}  // namespace detail
+
+inline void SetCheckFailureHook(void (*hook)()) {
+  detail::g_check_failure_hook.store(hook);
+}
+
+}  // namespace aerie
 
 #define AERIE_CHECK(cond)                                               \
   do {                                                                  \
     if (!(cond)) {                                                      \
       std::fprintf(stderr, "AERIE_CHECK failed at %s:%d: %s\n",         \
                    __FILE__, __LINE__, #cond);                          \
+      ::aerie::detail::RunCheckFailureHook();                           \
       std::abort();                                                     \
     }                                                                   \
   } while (0)

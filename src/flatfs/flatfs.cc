@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/obs/obs.h"
+#include "src/obs/trace.h"
 
 namespace aerie {
 
@@ -75,6 +76,7 @@ Result<std::pair<Oid, uint64_t>> FlatFs::Find(const Collection& coll,
 
 Status FlatFs::Put(std::string_view key, std::span<const char> data) {
   AERIE_SPAN("flatfs", "put");
+  obs::TraceInstant("flatfs.put.bytes", data.size());
   if (key.empty() || key.size() > Collection::kMaxKeyLen) {
     return Status(ErrorCode::kInvalidArgument, "bad key");
   }

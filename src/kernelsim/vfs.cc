@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/hash.h"
+#include "src/obs/obs.h"
 
 namespace aerie {
 
@@ -231,6 +232,7 @@ Result<KernelVfs::OpenFile*> KernelVfs::FileFor(int fd) {
 }
 
 Result<int> KernelVfs::Open(std::string_view path, int flags) {
+  AERIE_SPAN("vfs", "open");
   EnterSyscall();
   AERIE_ASSIGN_OR_RETURN(WalkResult walk, Walk(path));
   if (walk.target == nullptr) {
@@ -279,6 +281,7 @@ Result<int> KernelVfs::Open(std::string_view path, int flags) {
 }
 
 Status KernelVfs::Close(int fd) {
+  AERIE_SPAN("vfs", "close");
   EnterSyscall();
   CatTimer fds(&stats_, VfsCat::kFds);
   std::lock_guard lock(fds_mu_);
@@ -294,6 +297,7 @@ Status KernelVfs::Close(int fd) {
 }
 
 Result<uint64_t> KernelVfs::Read(int fd, std::span<char> out) {
+  AERIE_SPAN("vfs", "read");
   EnterSyscall();
   AERIE_ASSIGN_OR_RETURN(OpenFile * file, FileFor(fd));
   Result<uint64_t> n = 0ull;
@@ -312,6 +316,7 @@ Result<uint64_t> KernelVfs::Read(int fd, std::span<char> out) {
 }
 
 Result<uint64_t> KernelVfs::Write(int fd, std::span<const char> data) {
+  AERIE_SPAN("vfs", "write");
   EnterSyscall();
   AERIE_ASSIGN_OR_RETURN(OpenFile * file, FileFor(fd));
   if ((file->flags & kOpenWrite) == 0) {
@@ -371,6 +376,7 @@ Status KernelVfs::Create(std::string_view path) {
 }
 
 Status KernelVfs::Mkdir(std::string_view path) {
+  AERIE_SPAN("vfs", "mkdir");
   EnterSyscall();
   AERIE_ASSIGN_OR_RETURN(WalkResult walk, Walk(path));
   if (walk.target != nullptr) {
@@ -390,6 +396,7 @@ Status KernelVfs::Mkdir(std::string_view path) {
 }
 
 Status KernelVfs::Unlink(std::string_view path) {
+  AERIE_SPAN("vfs", "unlink");
   EnterSyscall();
   AERIE_ASSIGN_OR_RETURN(WalkResult walk, Walk(path));
   if (walk.target == nullptr) {
@@ -405,6 +412,7 @@ Status KernelVfs::Unlink(std::string_view path) {
 }
 
 Status KernelVfs::Rename(std::string_view from, std::string_view to) {
+  AERIE_SPAN("vfs", "rename");
   EnterSyscall();
   AERIE_ASSIGN_OR_RETURN(WalkResult src, Walk(from));
   if (src.target == nullptr) {
@@ -423,6 +431,7 @@ Status KernelVfs::Rename(std::string_view from, std::string_view to) {
 }
 
 Result<KInodeAttr> KernelVfs::Stat(std::string_view path) {
+  AERIE_SPAN("vfs", "stat");
   EnterSyscall();
   AERIE_ASSIGN_OR_RETURN(WalkResult walk, Walk(path));
   if (walk.target == nullptr) {
@@ -433,6 +442,7 @@ Result<KInodeAttr> KernelVfs::Stat(std::string_view path) {
 }
 
 Result<std::vector<VfsDirent>> KernelVfs::ReadDir(std::string_view path) {
+  AERIE_SPAN("vfs", "readdir");
   EnterSyscall();
   AERIE_ASSIGN_OR_RETURN(WalkResult walk, Walk(path));
   if (walk.target == nullptr) {

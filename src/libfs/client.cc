@@ -1,6 +1,9 @@
 #include "src/libfs/client.h"
 
+#include <cstring>
+
 #include "src/common/check.h"
+#include "src/obs/trace.h"
 #include "src/rpc/wire.h"
 
 namespace aerie {
@@ -51,6 +54,9 @@ Result<std::unique_ptr<LibFs>> LibFs::Mount(Transport* transport,
 }
 
 void LibFs::FlusherLoop() {
+  if (obs::SpansOn()) {
+    obs::SetThreadTraceName("libfs.flusher");
+  }
   std::unique_lock lock(batch_mu_);
   while (!flusher_stop_) {
     flush_cv_.wait_for(lock,
@@ -162,6 +168,7 @@ Status LibFs::ShipBatchLocked(std::unique_lock<std::mutex>* lock) {
       pending_ops_gauge_.Set(0);
     }
     if (!ops.empty()) {
+      obs::TraceInstant("libfs.ship_batch.ops", ops.size());
       if (clerk_->lease_lost() || abandoned_.load()) {
         // The service already discarded our authority; these updates are
         // gone (paper §4.3: failed clients' updates are discarded).

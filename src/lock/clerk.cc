@@ -5,6 +5,7 @@
 
 #include "src/common/check.h"
 #include "src/common/clock.h"
+#include "src/obs/trace.h"
 
 namespace aerie {
 
@@ -197,6 +198,7 @@ void LockClerk::Release(LockId id) {
 
 Status LockClerk::DrainAndReleaseGlobal(LockId id, bool downgrade_to_intent) {
   AERIE_SPAN("clerk", "drain_release");
+  obs::TraceInstant("clerk.release.global", id);
   std::unique_lock lk(mu_);
   auto it = entries_.find(id);
   if (it == entries_.end()) {
@@ -387,6 +389,7 @@ void LockClerk::OnLeaseExpired() {
 void LockClerk::HandleRevoke(LockId id, LockMode wanted) {
   (void)wanted;
   revokes_handled_.Add(1);
+  obs::TraceInstant("clerk.revoke.handled", id);
   // If we hold only an intent-mode residue protecting escalated children,
   // those children must be drained first (hierarchy protocol: a child's
   // global lock requires the parent intent lock).
@@ -429,6 +432,9 @@ void LockClerk::DrainRevocationsForTesting() {
 }
 
 void LockClerk::WorkerLoop() {
+  if (obs::SpansOn()) {
+    obs::SetThreadTraceName("clerk.worker");
+  }
   std::unique_lock lock(queue_mu_);
   uint64_t last_renew_ns = NowNanos();
   while (!stopping_) {

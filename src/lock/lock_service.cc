@@ -6,6 +6,7 @@
 #include "src/common/check.h"
 #include "src/common/clock.h"
 #include "src/obs/obs.h"
+#include "src/obs/trace.h"
 #include "src/rpc/wire.h"
 
 namespace aerie {
@@ -120,6 +121,9 @@ Status LockService::Acquire(uint64_t client_id, LockId id, LockMode mode,
   const uint64_t deadline_ns =
       NowNanos() + options_.wait_timeout_ms * 1'000'000;
 
+  // When this acquisition has to revoke, measure first-revocation-to-grant
+  // latency: the cost a contending client pays for the clerk lock cache.
+  uint64_t first_revoke_ns = 0;
   Status result = OkStatus();
   for (;;) {
     // Compute the target mode (upgrades keep existing strength).
@@ -192,6 +196,13 @@ Status LockService::Acquire(uint64_t client_id, LockId id, LockMode mode,
       }
     }
     revocations_sent_ += sinks.size();
+    if (!sinks.empty()) {
+      AERIE_COUNT_N("lock.revoke.issued", sinks.size());
+      obs::TraceInstant("lock.revoke.issued", id);
+      if (first_revoke_ns == 0) {
+        first_revoke_ns = NowNanos();
+      }
+    }
     lk.unlock();
     for (RevocationSink* sink : sinks) {
       sink->OnRevoke(id, target);
@@ -208,6 +219,11 @@ Status LockService::Acquire(uint64_t client_id, LockId id, LockMode mode,
   lock.waiters--;
   if (lock.holders.empty() && lock.waiters == 0) {
     locks_.erase(id);
+  }
+  if (first_revoke_ns != 0 && result.ok() && obs::CountersOn()) {
+    static obs::LatencyHistogram& revoke_latency =
+        obs::Registry::Instance().GetHistogram("lock.revoke.latency_us");
+    revoke_latency.Record((NowNanos() - first_revoke_ns) / 1000);
   }
   return result;
 }

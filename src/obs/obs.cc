@@ -1,6 +1,8 @@
 #include "src/obs/obs.h"
 
 #include <algorithm>
+
+#include "src/obs/trace.h"
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -212,7 +214,10 @@ void Registry::ResetAll() {
   }
 }
 
-void ResetAll() { Registry::Instance().ResetAll(); }
+void ResetAll() {
+  Registry::Instance().ResetAll();
+  ResetFlightRecorder();
+}
 
 // ---------------------------------------------------------------------------
 // RPC method stats
@@ -424,7 +429,8 @@ std::string DumpJson() {
 }
 
 std::string LayerBreakdownText() {
-  const auto rows = LayerRows(Registry::Instance().Collect());
+  const auto snaps = Registry::Instance().Collect();
+  const auto rows = LayerRows(snaps);
   std::string out;
   char buf[160];
   std::snprintf(buf, sizeof(buf), "%-12s %12s %14s %14s %10s\n", "layer",
@@ -449,6 +455,38 @@ std::string LayerBreakdownText() {
   std::snprintf(buf, sizeof(buf), "%-12s %12s %14.2f\n", "(sum)", "",
                 static_cast<double>(total_self) / 1e6);
   out += buf;
+
+  // Revocation traffic: service-side issue count and issue-to-grant latency
+  // paired with the client-side handled count, so lock churn shows up next
+  // to the layer times it explains.
+  uint64_t issued = 0;
+  uint64_t handled = 0;
+  const Histogram* latency = nullptr;
+  for (const MetricSnapshot& snap : snaps) {
+    if (snap.name == "lock.revoke.issued") {
+      issued = snap.counter;
+    } else if (snap.name == "clerk.revoke.handled") {
+      handled = snap.counter;
+    } else if (snap.name == "lock.revoke.latency_us" &&
+               snap.kind == Metric::Kind::kHistogram) {
+      latency = &snap.hist;
+    }
+  }
+  if (issued != 0 || handled != 0) {
+    std::snprintf(buf, sizeof(buf), "revocations  issued=%llu handled=%llu",
+                  static_cast<unsigned long long>(issued),
+                  static_cast<unsigned long long>(handled));
+    out += buf;
+    if (latency != nullptr && latency->count() > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    " wait_us{p50=%llu p95=%llu max=%llu}",
+                    static_cast<unsigned long long>(latency->Percentile(50)),
+                    static_cast<unsigned long long>(latency->Percentile(95)),
+                    static_cast<unsigned long long>(latency->max()));
+      out += buf;
+    }
+    out += '\n';
+  }
   return out;
 }
 

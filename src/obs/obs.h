@@ -251,6 +251,29 @@ class SpanStat final : public Metric {
 class ScopedSpan;
 ScopedSpan*& TlsCurrentSpan();
 
+namespace detail {
+
+// Trace-context bookkeeping for one live ScopedSpan, maintained by the
+// flight recorder (obs/trace.cc — out of line so obs.h need not see the
+// tracing internals). Begin mints/extends the thread's TraceContext and
+// stamps a begin event; End restores the previous context and stamps the
+// completed span. Only called on the spans-enabled path.
+struct TraceLink {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
+  // Thread context to restore when the span ends.
+  uint64_t prev_trace_id = 0;
+  uint64_t prev_span_id = 0;
+  uint64_t prev_parent_id = 0;
+};
+// `name` must outlive the process (interned SpanStat names qualify).
+void TraceSpanBegin(const char* name, TraceLink* link);
+void TraceSpanEnd(const char* name, const TraceLink& link, uint64_t start_ns,
+                  uint64_t end_ns);
+
+}  // namespace detail
+
 // RAII span. Inert (one branch) unless mode is `spans`. Safe to construct
 // with a null stat (records nothing).
 class ScopedSpan {
@@ -263,6 +286,7 @@ class ScopedSpan {
     ScopedSpan*& tls = TlsCurrentSpan();
     parent_ = tls;
     tls = this;
+    detail::TraceSpanBegin(stat->name().c_str(), &trace_);
     start_ns_ = NowNanos();
   }
 
@@ -270,12 +294,14 @@ class ScopedSpan {
     if (stat_ == nullptr) {
       return;
     }
-    const uint64_t total = NowNanos() - start_ns_;
+    const uint64_t end_ns = NowNanos();
+    const uint64_t total = end_ns - start_ns_;
     TlsCurrentSpan() = parent_;
     if (parent_ != nullptr) {
       parent_->child_ns_ += total;
     }
     stat_->Record(total, total >= child_ns_ ? total - child_ns_ : 0);
+    detail::TraceSpanEnd(stat_->name().c_str(), trace_, start_ns_, end_ns);
   }
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -286,6 +312,7 @@ class ScopedSpan {
   ScopedSpan* parent_ = nullptr;
   uint64_t start_ns_ = 0;
   uint64_t child_ns_ = 0;  // wall time spent in nested spans
+  detail::TraceLink trace_;
 };
 
 // One row of an exporter snapshot; same-named instance metrics are merged.

@@ -5,6 +5,7 @@
 
 #include "src/common/check.h"
 #include "src/obs/obs.h"
+#include "src/obs/trace.h"
 #include "src/scm/manager.h"
 
 namespace aerie {
@@ -98,6 +99,7 @@ void Pxfs::ClearVolatileState() {
 void Pxfs::FlushNameCache() {
   AERIE_SPAN("namecache", "flush");
   std::lock_guard lock(cache_mu_);
+  obs::TraceInstant("namecache.flush.entries", name_cache_.size());
   name_cache_.clear();
 }
 

@@ -9,6 +9,7 @@
 #include <string_view>
 
 #include "src/common/clock.h"
+#include "src/obs/trace.h"
 #include "src/rpc/transport.h"
 
 namespace aerie {
@@ -34,7 +35,14 @@ class InprocTransport final : public Transport {
     if (round_trip_ns_ != 0) {
       SpinDelayNanos(round_trip_ns_ / 2);
     }
-    auto result = dispatcher_->Dispatch(client_id_, method, request);
+    Result<std::string> result = [&] {
+      // Dispatch runs on the caller thread, so the trace context would flow
+      // implicitly — but install a scoped copy anyway, mirroring the socket
+      // transport: handler-side context changes must not leak back into the
+      // client, and both transports exercise the same propagation contract.
+      obs::ScopedTraceContext trace_scope(obs::CurrentTraceContext());
+      return dispatcher_->Dispatch(client_id_, method, request);
+    }();
     if (round_trip_ns_ != 0) {
       SpinDelayNanos(round_trip_ns_ / 2);
     }

@@ -5,7 +5,11 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
+
+#include "src/obs/trace.h"
+#include "src/rpc/wire.h"
 
 namespace aerie {
 
@@ -49,6 +53,17 @@ Status ReadAll(int fd, void* data, size_t len) {
 }
 
 constexpr uint32_t kMaxFrame = 64u << 20;  // 64MB: bounds a malicious frame
+
+// Smallest valid request frame body: u32 method + u8 trace_flags.
+constexpr uint32_t kMinRequestFrame = 5;
+
+// Length prefixes cross the socket as explicit little-endian too.
+Result<uint32_t> ReadU32Le(int fd) {
+  char buf[4];
+  AERIE_RETURN_IF_ERROR(ReadAll(fd, buf, sizeof(buf)));
+  WireReader reader(std::string_view(buf, sizeof(buf)));
+  return reader.ReadU32();
+}
 
 }  // namespace
 
@@ -118,7 +133,9 @@ void UdsServer::AcceptLoop() {
     }
     const uint64_t client_id = next_client_id_.fetch_add(1);
     // Handshake: send the session id the server will know this client by.
-    if (!WriteAll(conn, &client_id, sizeof(client_id)).ok()) {
+    WireBuffer handshake;
+    handshake.AppendU64(client_id);
+    if (!WriteAll(conn, handshake.data().data(), handshake.size()).ok()) {
       ::close(conn);
       continue;
     }
@@ -129,41 +146,55 @@ void UdsServer::AcceptLoop() {
 }
 
 void UdsServer::ServeConnection(int fd, uint64_t client_id) {
+  if (obs::SpansOn()) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "tfs.conn%llu",
+                  static_cast<unsigned long long>(client_id));
+    obs::SetThreadTraceName(name);
+  }
   std::string buf;
   while (!stopping_.load()) {
-    uint32_t frame_len = 0;
-    if (!ReadAll(fd, &frame_len, sizeof(frame_len)).ok()) {
+    auto frame_len = ReadU32Le(fd);
+    if (!frame_len.ok() || *frame_len < kMinRequestFrame ||
+        *frame_len > kMaxFrame) {
       break;
     }
-    if (frame_len < sizeof(uint32_t) || frame_len > kMaxFrame) {
+    buf.resize(*frame_len);
+    if (!ReadAll(fd, buf.data(), *frame_len).ok()) {
       break;
     }
-    buf.resize(frame_len);
-    if (!ReadAll(fd, buf.data(), frame_len).ok()) {
+    WireReader header(std::string_view(buf.data(), *frame_len));
+    auto method = header.ReadU32();
+    auto trace = ReadTraceContext(header);
+    if (!method.ok() || !trace.ok()) {
       break;
     }
-    uint32_t method = 0;
-    std::memcpy(&method, buf.data(), sizeof(method));
-    std::string_view payload(buf.data() + sizeof(method),
-                             frame_len - sizeof(method));
+    std::string_view payload = header.Remaining();
 
-    auto result = dispatcher_->Dispatch(client_id, method, payload);
+    // Adopt the caller's trace context for the handler: spans opened while
+    // dispatching become children of the remote client operation. An empty
+    // context still gets installed so no state leaks between requests.
+    obs::TraceContext ctx;
+    ctx.trace_id = trace->trace_id;
+    ctx.span_id = trace->span_id;
+    obs::ScopedTraceContext trace_scope(ctx);
+
+    auto result = dispatcher_->Dispatch(client_id, *method, payload);
     const uint8_t ok = result.ok() ? 1 : 0;
     const std::string& body =
         result.ok() ? result.value() : result.status().ToString();
     // Error responses also carry the ErrorCode so the client can rebuild the
     // exact Status.
-    std::string frame;
+    WireBuffer frame;
     const uint32_t resp_len = static_cast<uint32_t>(
         sizeof(uint8_t) + (result.ok() ? 0 : 1) + body.size());
-    frame.reserve(sizeof(resp_len) + resp_len);
-    frame.append(reinterpret_cast<const char*>(&resp_len), sizeof(resp_len));
-    frame.push_back(static_cast<char>(ok));
+    frame.AppendU32(resp_len);
+    frame.AppendU8(ok);
     if (!result.ok()) {
-      frame.push_back(static_cast<char>(result.status().code()));
+      frame.AppendU8(static_cast<uint8_t>(result.status().code()));
     }
-    frame.append(body);
-    if (!WriteAll(fd, frame.data(), frame.size()).ok()) {
+    frame.AppendRaw(body);
+    if (!WriteAll(fd, frame.data().data(), frame.size()).ok()) {
       break;
     }
   }
@@ -189,9 +220,12 @@ Result<std::unique_ptr<UdsTransport>> UdsTransport::Connect(
     return Status(ErrorCode::kUnavailable,
                   std::string("connect: ") + std::strerror(errno));
   }
-  uint64_t client_id = 0;
-  AERIE_RETURN_IF_ERROR(ReadAll(fd, &client_id, sizeof(client_id)));
-  return std::unique_ptr<UdsTransport>(new UdsTransport(fd, client_id));
+  char handshake[8];
+  AERIE_RETURN_IF_ERROR(ReadAll(fd, handshake, sizeof(handshake)));
+  WireReader reader(std::string_view(handshake, sizeof(handshake)));
+  auto client_id = reader.ReadU64();
+  AERIE_RETURN_IF_ERROR(client_id.status());
+  return std::unique_ptr<UdsTransport>(new UdsTransport(fd, *client_id));
 }
 
 UdsTransport::~UdsTransport() { ::close(fd_); }
@@ -209,17 +243,27 @@ Result<std::string> UdsTransport::Call(uint32_t method,
   obs::ScopedSpan span(stats != nullptr && obs::SpansOn() ? &stats->span
                                                           : nullptr);
 
-  const uint32_t frame_len =
-      static_cast<uint32_t>(sizeof(method) + request.size());
-  std::string frame;
-  frame.reserve(sizeof(frame_len) + frame_len);
-  frame.append(reinterpret_cast<const char*>(&frame_len), sizeof(frame_len));
-  frame.append(reinterpret_cast<const char*>(&method), sizeof(method));
-  frame.append(request);
-  AERIE_RETURN_IF_ERROR(WriteAll(fd_, frame.data(), frame.size()));
+  // Snapshot the trace context after the rpc.<method> span above opened, so
+  // server-side spans hang off the RPC span of this specific call.
+  WireTraceContext trace_ctx;
+  if (obs::SpansOn()) {
+    const obs::TraceContext cur = obs::CurrentTraceContext();
+    trace_ctx.trace_id = cur.trace_id;
+    trace_ctx.span_id = cur.span_id;
+  }
+  WireBuffer header;
+  header.AppendU32(method);
+  AppendTraceContext(header, trace_ctx);
 
-  uint32_t resp_len = 0;
-  AERIE_RETURN_IF_ERROR(ReadAll(fd_, &resp_len, sizeof(resp_len)));
+  WireBuffer frame;
+  frame.AppendU32(static_cast<uint32_t>(header.size() + request.size()));
+  frame.AppendRaw(header.data());
+  frame.AppendRaw(request);
+  AERIE_RETURN_IF_ERROR(WriteAll(fd_, frame.data().data(), frame.size()));
+
+  auto resp_len_r = ReadU32Le(fd_);
+  AERIE_RETURN_IF_ERROR(resp_len_r.status());
+  const uint32_t resp_len = *resp_len_r;
   if (resp_len < 1 || resp_len > kMaxFrame) {
     return Status(ErrorCode::kUnavailable, "bad response frame");
   }

@@ -1,8 +1,13 @@
 // Unix-domain-socket RPC: the analogue of the paper's loopback-socket RPC.
 //
-// Frame format (all little-endian):
-//   request:  u32 frame_len | u32 method | payload
-//   response: u32 frame_len | u8 ok      | payload-or-error-message
+// Frame format (all little-endian, serialized via wire.h):
+//   request:  u32 frame_len | u32 method | u8 trace_flags |
+//             [u64 trace_id | u64 span_id] | payload
+//   response: u32 frame_len | u8 ok | [u8 error_code] | payload-or-message
+//
+// The trace field (WireTraceContext in wire.h) carries the caller's trace
+// context so server-side spans are recorded as children of the client
+// operation; trace_flags is 0 — one byte — when tracing is off.
 //
 // The server runs one accept thread plus one thread per connection (the
 // paper's TFS "is multithreaded and can handle multiple RPC requests

@@ -3,11 +3,13 @@
 // Little-endian, length-prefixed, bounds-checked. Both the RPC layer and the
 // libFS batching log (whose entries the TFS must treat as untrusted input)
 // use these helpers, so every Read* validates against the buffer bounds.
+//
+// Scalars are serialized byte-wise (value >> 8*i for byte i) rather than via
+// memcpy so the encoding is little-endian regardless of host byte order.
 #ifndef AERIE_SRC_RPC_WIRE_H_
 #define AERIE_SRC_RPC_WIRE_H_
 
 #include <cstdint>
-#include <cstring>
 #include <span>
 #include <string>
 #include <string_view>
@@ -19,20 +21,24 @@ namespace aerie {
 // Append-only message builder.
 class WireBuffer {
  public:
-  void AppendU8(uint8_t v) { AppendRaw(&v, 1); }
-  void AppendU16(uint16_t v) { AppendRaw(&v, 2); }
-  void AppendU32(uint32_t v) { AppendRaw(&v, 4); }
-  void AppendU64(uint64_t v) { AppendRaw(&v, 8); }
+  void AppendU8(uint8_t v) { data_.push_back(static_cast<char>(v)); }
+  void AppendU16(uint16_t v) { AppendLe(v, 2); }
+  void AppendU32(uint32_t v) { AppendLe(v, 4); }
+  void AppendU64(uint64_t v) { AppendLe(v, 8); }
   void AppendI64(int64_t v) { AppendU64(static_cast<uint64_t>(v)); }
 
   // Length-prefixed byte string (u32 length).
   void AppendString(std::string_view s) {
     AppendU32(static_cast<uint32_t>(s.size()));
-    AppendRaw(s.data(), s.size());
+    data_.append(s.data(), s.size());
   }
   void AppendBytes(std::span<const char> b) {
     AppendString(std::string_view(b.data(), b.size()));
   }
+
+  // Unprefixed bytes. Framing-layer use only (payloads that already carry an
+  // outer length, e.g. the socket transport's frame body).
+  void AppendRaw(std::string_view s) { data_.append(s.data(), s.size()); }
 
   const std::string& data() const { return data_; }
   std::string Release() { return std::move(data_); }
@@ -40,8 +46,12 @@ class WireBuffer {
   void Clear() { data_.clear(); }
 
  private:
-  void AppendRaw(const void* p, size_t n) {
-    data_.append(static_cast<const char*>(p), n);
+  void AppendLe(uint64_t v, size_t n) {
+    char b[8];
+    for (size_t i = 0; i < n; ++i) {
+      b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    }
+    data_.append(b, n);
   }
   std::string data_;
 };
@@ -79,21 +89,68 @@ class WireReader {
   bool AtEnd() const { return pos_ == data_.size(); }
   size_t remaining() const { return data_.size() - pos_; }
 
+  // Everything not yet consumed, without consuming it. Framing-layer use
+  // (the socket server hands the rest of a frame to the dispatcher).
+  std::string_view Remaining() const { return data_.substr(pos_); }
+
  private:
   template <typename T>
   Result<T> ReadScalar() {
     if (pos_ + sizeof(T) > data_.size()) {
       return Status(ErrorCode::kInvalidArgument, "message too short");
     }
-    T v;
-    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    uint64_t v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
     pos_ += sizeof(T);
-    return v;
+    return static_cast<T>(v);
   }
 
   std::string_view data_;
   size_t pos_ = 0;
 };
+
+// Optional trace-context field carried inside RPC frame headers so server
+// spans become children of the originating client operation.
+//
+// Layout: u8 flags (bit 0 = context present) | [u64 trace_id | u64 span_id].
+// A zero trace_id means "no active trace" and encodes as flags = 0, so the
+// common AERIE_OBS=off path costs exactly one byte on the wire.
+struct WireTraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  bool present() const { return trace_id != 0; }
+};
+
+inline void AppendTraceContext(WireBuffer& buf, const WireTraceContext& ctx) {
+  if (!ctx.present()) {
+    buf.AppendU8(0);
+    return;
+  }
+  buf.AppendU8(1);
+  buf.AppendU64(ctx.trace_id);
+  buf.AppendU64(ctx.span_id);
+}
+
+inline Result<WireTraceContext> ReadTraceContext(WireReader& reader) {
+  auto flags = reader.ReadU8();
+  if (!flags.ok()) {
+    return flags.status();
+  }
+  WireTraceContext ctx;
+  if ((*flags & 1) != 0) {
+    auto trace_id = reader.ReadU64();
+    auto span_id = reader.ReadU64();
+    if (!trace_id.ok() || !span_id.ok()) {
+      return Status(ErrorCode::kInvalidArgument, "truncated trace context");
+    }
+    ctx.trace_id = *trace_id;
+    ctx.span_id = *span_id;
+  }
+  return ctx;
+}
 
 }  // namespace aerie
 

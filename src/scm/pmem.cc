@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "src/common/clock.h"
+#include "src/obs/trace.h"
 
 namespace aerie {
 
@@ -107,6 +108,7 @@ void ScmRegion::BFlush() {
   std::atomic_thread_fence(std::memory_order_seq_cst);
   stats_.wc_drains.Add(1);
   const uint64_t lines = pending_wc_lines_.exchange(0);
+  obs::TraceInstant("scm.bflush.lines", lines);
   ChargeLines(lines);
 }
 

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/common/check.h"
+#include "src/obs/trace.h"
 
 namespace aerie {
 
@@ -534,6 +535,7 @@ Status TrustedFsService::ApplyBatch(uint64_t client_id,
     ops_rejected_.Add(1);
     return ops.status();
   }
+  obs::TraceInstant("tfs.apply_batch.ops", ops->size());
 
   // Each op is validated against the *current* state (so later ops in a
   // batch see the effects of earlier ones), WAL-logged, committed, then

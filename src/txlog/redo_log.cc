@@ -4,6 +4,7 @@
 
 #include "src/common/hash.h"
 #include "src/obs/obs.h"
+#include "src/obs/trace.h"
 
 namespace aerie {
 
@@ -89,6 +90,7 @@ Status RedoLog::Append(uint32_t type, std::span<const char> payload) {
 Status RedoLog::Commit() {
   AERIE_SPAN("txlog", "commit");
   AERIE_COUNT("txlog.commit.count");
+  obs::TraceInstant("txlog.commit.bytes", volatile_tail_);
   // Drain the WC buffers so record bytes are persistent, order the commit
   // pointer after them, then publish with one atomic 64-bit store.
   region_->BFlush();

@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/rpc/inproc.h"
 #include "src/rpc/socket.h"
 #include "src/rpc/wire.h"
@@ -31,6 +32,54 @@ TEST(WireTest, RoundTripScalarsAndStrings) {
   EXPECT_EQ(*r.ReadString(), "hello world");
   EXPECT_EQ(*r.ReadString(), "");
   EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireTest, ScalarsAreLittleEndianOnTheWire) {
+  WireBuffer buf;
+  buf.AppendU16(0x1234);
+  buf.AppendU32(0xA1B2C3D4u);
+  buf.AppendU64(0x1122334455667788ull);
+  const uint8_t want[] = {0x34, 0x12,                    // u16
+                          0xD4, 0xC3, 0xB2, 0xA1,        // u32
+                          0x88, 0x77, 0x66, 0x55, 0x44,  // u64...
+                          0x33, 0x22, 0x11};
+  ASSERT_EQ(buf.size(), sizeof(want));
+  for (size_t i = 0; i < sizeof(want); ++i) {
+    EXPECT_EQ(static_cast<uint8_t>(buf.data()[i]), want[i]) << "byte " << i;
+  }
+  WireReader r(buf.data());
+  EXPECT_EQ(*r.ReadU16(), 0x1234);
+  EXPECT_EQ(*r.ReadU32(), 0xA1B2C3D4u);
+  EXPECT_EQ(*r.ReadU64(), 0x1122334455667788ull);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireTest, TraceContextRoundTrips) {
+  // Absent context: one zero flags byte.
+  WireBuffer empty;
+  AppendTraceContext(empty, WireTraceContext{});
+  EXPECT_EQ(empty.size(), 1u);
+  EXPECT_EQ(empty.data()[0], '\0');
+  WireReader er(empty.data());
+  auto decoded_empty = ReadTraceContext(er);
+  ASSERT_TRUE(decoded_empty.ok());
+  EXPECT_FALSE(decoded_empty->present());
+
+  // Present context: flags byte + two u64s.
+  WireBuffer buf;
+  AppendTraceContext(buf, WireTraceContext{0xDEADBEEFull, 77});
+  EXPECT_EQ(buf.size(), 17u);
+  WireReader r(buf.data());
+  auto decoded = ReadTraceContext(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->present());
+  EXPECT_EQ(decoded->trace_id, 0xDEADBEEFull);
+  EXPECT_EQ(decoded->span_id, 77u);
+  EXPECT_TRUE(r.AtEnd());
+
+  // Truncated present context is rejected.
+  WireReader bad(std::string_view(buf.data().data(), 5));
+  EXPECT_FALSE(ReadTraceContext(bad).ok());
 }
 
 TEST(WireTest, ShortBufferRejected) {
@@ -149,6 +198,74 @@ TEST_F(UdsTest, ConcurrentClients) {
     t.join();
   }
   EXPECT_EQ(failures.load(), 0);
+}
+
+// The server span must carry the client's trace_id: the transport encodes
+// the caller's context into the request frame and the server installs it
+// around dispatch, so a handler-side AERIE_SPAN joins the client's trace.
+TEST_F(UdsTest, TraceContextPropagatesToServerSpans) {
+  const obs::Mode prev_mode = obs::CurrentMode();
+  obs::SetMode(obs::Mode::kSpans);
+
+  dispatcher_.Register(
+      7, [](uint64_t, std::string_view) -> Result<std::string> {
+        AERIE_SPAN("tfs", "t_probe");  // the server-side span under test
+        const obs::TraceContext ctx = obs::CurrentTraceContext();
+        WireBuffer out;
+        out.AppendU64(ctx.trace_id);
+        out.AppendU64(ctx.span_id);
+        out.AppendU64(ctx.parent_id);
+        return out.Release();
+      });
+
+  auto transport = UdsTransport::Connect(path_);
+  ASSERT_TRUE(transport.ok());
+
+  obs::TraceContext client_ctx;
+  Result<std::string> resp = Status(ErrorCode::kUnavailable, "not called");
+  {
+    AERIE_SPAN("pxfs", "t_client_op");
+    client_ctx = obs::CurrentTraceContext();
+    resp = (*transport)->Call(7, "trace me");
+  }
+  ASSERT_TRUE(resp.ok());
+  WireReader r(*resp);
+  const uint64_t server_trace_id = *r.ReadU64();
+  const uint64_t server_span_id = *r.ReadU64();
+  const uint64_t server_parent_id = *r.ReadU64();
+
+  ASSERT_TRUE(client_ctx.valid());
+  EXPECT_EQ(server_trace_id, client_ctx.trace_id);
+  EXPECT_NE(server_span_id, client_ctx.span_id);
+  // The handler span's parent is the rpc.<method> span the transport opened
+  // inside the client op — a descendant of the client span, not 0.
+  EXPECT_NE(server_parent_id, 0u);
+  EXPECT_NE(server_parent_id, server_span_id);
+
+  obs::SetMode(prev_mode);
+  obs::ResetAll();
+}
+
+// With tracing off the frame carries a single zero flags byte and the
+// server must see an empty context.
+TEST_F(UdsTest, NoTraceContextWhenSpansOff) {
+  const obs::Mode prev_mode = obs::CurrentMode();
+  obs::SetMode(obs::Mode::kCounters);
+
+  dispatcher_.Register(
+      8, [](uint64_t, std::string_view) -> Result<std::string> {
+        WireBuffer out;
+        out.AppendU64(obs::CurrentTraceContext().trace_id);
+        return out.Release();
+      });
+  auto transport = UdsTransport::Connect(path_);
+  ASSERT_TRUE(transport.ok());
+  auto resp = (*transport)->Call(8, "");
+  ASSERT_TRUE(resp.ok());
+  WireReader r(*resp);
+  EXPECT_EQ(*r.ReadU64(), 0u);
+
+  obs::SetMode(prev_mode);
 }
 
 TEST_F(UdsTest, LargePayloadRoundTrips) {

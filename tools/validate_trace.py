@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Validates a trace file emitted by obs::DumpTraceJson.
+
+Checks that the file is well-formed Chrome trace-event / Perfetto JSON:
+a top-level object with a "traceEvents" list whose entries carry the
+fields their phase requires ("X" needs ts+dur, "B"/"i" need ts, "M" is
+metadata). With --require-cross-layer it additionally asserts the
+acceptance property of the tracing subsystem: at least one trace_id is
+shared between a client-layer span (pxfs.*/flatfs.*) and a trusted-side
+span (tfs.*/lockservice.*), i.e. the context really crossed the RPC
+boundary.
+
+Usage: validate_trace.py [--require-cross-layer] trace.json
+Exits 0 on success, 1 with a diagnostic on failure.
+"""
+
+import argparse
+import json
+import sys
+
+CLIENT_LAYERS = {"pxfs", "flatfs"}
+TRUSTED_LAYERS = {"tfs", "lockservice"}
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def layer_of(name):
+    return name.split(".", 1)[0]
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--require-cross-layer", action="store_true")
+    parser.add_argument("trace_file")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace_file, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail(f"cannot read {args.trace_file}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"not valid JSON: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a traceEvents list")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("traceEvents is not a list")
+
+    spans = 0
+    # trace_id -> set of layers that recorded a span in that trace
+    trace_layers = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i} is not an object")
+        ph = ev.get("ph")
+        if ph not in ("X", "B", "E", "i", "I", "M"):
+            fail(f"event {i} has unknown phase {ph!r}")
+        if "name" not in ev or "pid" not in ev:
+            fail(f"event {i} missing name/pid")
+        if ph == "M":
+            continue
+        if "ts" not in ev or "tid" not in ev:
+            fail(f"event {i} ({ev.get('name')}) missing ts/tid")
+        if ph == "X":
+            if "dur" not in ev:
+                fail(f"event {i} ({ev.get('name')}) is X without dur")
+            spans += 1
+        trace_id = ev.get("args", {}).get("trace_id", "0")
+        if ph in ("X", "B") and trace_id != "0":
+            trace_layers.setdefault(trace_id, set()).add(
+                layer_of(ev["name"]))
+
+    if args.require_cross_layer:
+        if spans == 0:
+            fail("no completed spans in trace")
+        stitched = [
+            t for t, layers in trace_layers.items()
+            if layers & CLIENT_LAYERS and layers & TRUSTED_LAYERS
+        ]
+        if not stitched:
+            fail(
+                "no trace_id is shared between a client span "
+                f"({sorted(CLIENT_LAYERS)}) and a trusted-side span "
+                f"({sorted(TRUSTED_LAYERS)}); traces seen: "
+                f"{len(trace_layers)}")
+        print(f"validate_trace: {len(stitched)} cross-layer traces "
+              f"(example trace_id={stitched[0]})")
+
+    print(f"validate_trace: OK: {len(events)} events, {spans} spans, "
+          f"{len(trace_layers)} traces")
+
+
+if __name__ == "__main__":
+    main()
