@@ -148,13 +148,21 @@ Status LibFs::LogOp(MetaOp op) {
 }
 
 Status LibFs::ShipBatchLocked(std::unique_lock<std::mutex>* lock) {
-  if (batch_.empty() || abandoned_.load()) {
+  if (abandoned_.load()) {
     return OkStatus();
   }
   // Ship order must equal logging order. ship_mu_ is taken BEFORE the
   // batch is swapped out, so a concurrent shipper (flusher vs Sync vs
   // release hook) cannot overtake an in-flight earlier batch. Lock order is
   // always ship_mu_ -> batch_mu_ here; callers drop batch_mu_ first.
+  //
+  // An empty batch must NOT return before taking ship_mu_: the clerk's
+  // release hook calls Sync() to guarantee every op logged under the lock
+  // being released has reached the server, and a concurrent shipper may
+  // have swapped the batch out while its ApplyBatch RPC is still in
+  // flight. Returning early would let the clerk release the global lock
+  // while that RPC races it to the server, where validation then fails
+  // with kPermissionDenied and acknowledged ops are lost.
   lock->unlock();
   Status result = OkStatus();
   {

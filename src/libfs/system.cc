@@ -36,7 +36,7 @@ Result<std::unique_ptr<AerieSystem>> AerieSystem::Create(
     }
     sys->partition_offset_ = part->offset;
     auto volume = Volume::Format(sys->region_.get(), part->offset,
-                                 part->size);
+                                 part->size, options.volume);
     if (!volume.ok()) {
       return volume.status();
     }

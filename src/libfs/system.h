@@ -46,6 +46,9 @@ class AerieSystem {
     LockService::Options lock;
     TrustedFsService::Options tfs;
     ScmManager::Options scm;
+    // Applied only when formatting (fresh == true). Crash-simulation tests
+    // shrink the redo log so enumeration touches fewer lines per image.
+    Volume::Options volume;
   };
 
   static Result<std::unique_ptr<AerieSystem>> Create(const Options& options);

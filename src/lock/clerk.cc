@@ -236,9 +236,40 @@ Status LockClerk::DrainAndReleaseGlobal(LockId id, bool downgrade_to_intent) {
   }
 
   // De-escalation (paper §5.3.4): locally-covered descendants still in use
-  // get explicit global locks *before* we give up the covering lock.
+  // get explicit global locks *before* we give up the covering lock. The
+  // covered relation is transitive — a directory granted XH under the root
+  // covers its own children — so the walk must reach every depth: an op
+  // logged under an in-use grandchild cites this lock as its authority, and
+  // the server's fallback check accepts only the object's *own* lock, so
+  // the grandchild itself needs an explicit global lock. Intermediates
+  // above an escalated descendant are escalated too, keeping the chain of
+  // lock-service state that shields the subtree from other clients'
+  // hierarchical grants.
   std::vector<std::pair<LockId, LockMode>> escalate;
   std::vector<LockId> keep_children;
+  // Returns true if `cid` (covered via `parent`) or anything below it was
+  // escalated; idle subtrees lose their cover so later acquires go global.
+  std::function<bool(LockId, LockId)> walk = [&](LockId cid,
+                                                 LockId parent) -> bool {
+    auto cit = entries_.find(cid);
+    if (cit == entries_.end() || cit->second.covered_by != parent) {
+      return false;
+    }
+    Entry& ce = cit->second;
+    bool need = ce.readers > 0 || ce.writer || ce.waiting > 0;
+    for (LockId g : ce.local_children) {
+      if (walk(g, cid)) {
+        need = true;
+      }
+    }
+    if (need) {
+      escalate.emplace_back(cid, ce.covered_mode);
+    } else {
+      ce.covered_by = 0;
+      ce.covered_mode = LockMode::kFree;
+    }
+    return need;
+  };
   for (LockId c : e.local_children) {
     auto cit = entries_.find(c);
     if (cit == entries_.end() || cit->second.covered_by != id) {
@@ -247,13 +278,8 @@ Status LockClerk::DrainAndReleaseGlobal(LockId id, bool downgrade_to_intent) {
       }
       continue;
     }
-    Entry& ce = cit->second;
-    if (ce.readers > 0 || ce.writer || ce.waiting > 0) {
-      escalate.emplace_back(c, ce.covered_mode);
+    if (walk(c, id)) {
       keep_children.push_back(c);
-    } else {
-      ce.covered_by = 0;
-      ce.covered_mode = LockMode::kFree;
     }
   }
   const LockMode released_mode = e.global;

@@ -1,0 +1,340 @@
+#include "src/scm/crash_sim.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/common/rand.h"
+
+namespace aerie {
+
+// --- PersistSiteRegistry -------------------------------------------------
+
+PersistSiteRegistry& PersistSiteRegistry::Instance() {
+  static PersistSiteRegistry* registry = new PersistSiteRegistry();
+  return *registry;
+}
+
+int PersistSiteRegistry::Register(const std::string& name) {
+  std::lock_guard lock(mu_);
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      return static_cast<int>(i);
+    }
+  }
+  names_.push_back(name);
+  return static_cast<int>(names_.size() - 1);
+}
+
+int PersistSiteRegistry::Find(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::string PersistSiteRegistry::Name(int site) const {
+  std::lock_guard lock(mu_);
+  if (site < 0 || static_cast<size_t>(site) >= names_.size()) {
+    return "";
+  }
+  return names_[static_cast<size_t>(site)];
+}
+
+std::vector<std::string> PersistSiteRegistry::Names() const {
+  std::lock_guard lock(mu_);
+  return names_;
+}
+
+int RegisterPersistSite(const char* name) {
+  return PersistSiteRegistry::Instance().Register(name);
+}
+
+// --- CrashSimOptions / CrashSimFailure -----------------------------------
+
+CrashSimOptions CrashSimOptions::FromEnv(CrashSimOptions base) {
+  if (const char* samples = std::getenv("AERIE_CRASH_SAMPLES")) {
+    const long v = std::strtol(samples, nullptr, 10);
+    if (v > 0) {
+      base.max_images = static_cast<int>(v);
+    }
+  }
+  if (const char* seed = std::getenv("AERIE_CRASH_SEED")) {
+    const unsigned long long v = std::strtoull(seed, nullptr, 10);
+    if (v != 0) {
+      base.seed = v;
+    }
+  }
+  return base;
+}
+
+std::string CrashSimFailure::ToString() const {
+  return "point=" + std::to_string(point_index) + " (" + point_name +
+         ") draw=" + std::to_string(draw) + " seed=" + std::to_string(seed) +
+         ": " + status.ToString();
+}
+
+// --- CrashSimulator ------------------------------------------------------
+
+CrashSimulator::CrashSimulator(ScmRegion* region, CrashSimOptions options,
+                               Checker checker)
+    : region_(region), options_(std::move(options)),
+      checker_(std::move(checker)) {
+  shadow_.assign(region_->base(), region_->base() + region_->size());
+  region_->AttachCrashSim(this);
+}
+
+CrashSimulator::~CrashSimulator() {
+  std::lock_guard lock(mu_);
+  if (region_ != nullptr) {
+    region_->DetachCrashSim();
+    region_ = nullptr;
+  }
+}
+
+void CrashSimulator::SuppressSite(int site) {
+  std::lock_guard lock(mu_);
+  suppressed_.insert(site);
+}
+
+void CrashSimulator::ClearSuppressedSites() {
+  std::lock_guard lock(mu_);
+  suppressed_.clear();
+}
+
+void CrashSimulator::SnapshotLines(const void* addr, size_t len,
+                                   LineMap* into) {
+  const char* base = region_->base();
+  const uint64_t region_size = region_->size();
+  uint64_t off = static_cast<uint64_t>(static_cast<const char*>(addr) - base);
+  if (off >= region_size) {
+    return;  // not a region address (e.g. a stack temporary); ignore
+  }
+  const uint64_t end = std::min<uint64_t>(off + len, region_size);
+  uint64_t line = off / kCacheLineSize;
+  const uint64_t last = (end - 1) / kCacheLineSize;
+  for (; line <= last; ++line) {
+    auto& snap = (*into)[line];
+    std::memcpy(snap.data(), base + line * kCacheLineSize, kCacheLineSize);
+  }
+}
+
+void CrashSimulator::SealLocked(LineMap* from) {
+  for (const auto& [line, snap] : *from) {
+    std::memcpy(shadow_.data() + line * kCacheLineSize, snap.data(),
+                kCacheLineSize);
+  }
+  from->clear();
+}
+
+void CrashSimulator::OnWlFlush(const void* addr, size_t len, int site) {
+  std::lock_guard lock(mu_);
+  if (in_check_ || region_ == nullptr || suppressed_.count(site) != 0) {
+    return;
+  }
+  SnapshotLines(addr, len, &pending_);
+}
+
+void CrashSimulator::OnStreamWrite(const void* dst, size_t len) {
+  std::lock_guard lock(mu_);
+  if (in_check_ || region_ == nullptr) {
+    return;
+  }
+  SnapshotLines(dst, len, &wc_);
+}
+
+void CrashSimulator::OnBFlush(int site) {
+  std::lock_guard lock(mu_);
+  if (in_check_ || region_ == nullptr) {
+    return;
+  }
+  if (suppressed_.count(site) != 0) {
+    return;  // mutation: the WC drain never happened
+  }
+  SealLocked(&wc_);
+}
+
+void CrashSimulator::OnFence(int site) {
+  std::lock_guard lock(mu_);
+  if (in_check_ || region_ == nullptr) {
+    return;
+  }
+  if (suppressed_.count(site) != 0) {
+    return;  // mutation: no ordering point, no epoch seal
+  }
+  // Enumerate the *pre-seal* state: sealed prefix plus whatever subset of
+  // the flushed-pending / WC / dirty lines the crash happens to persist.
+  // This is the richest reachable state at an epoch boundary.
+  EnumerateLocked("fence");
+  SealLocked(&pending_);
+}
+
+void CrashSimulator::OnInterestPoint(const char* name) {
+  std::lock_guard lock(mu_);
+  if (in_check_ || region_ == nullptr) {
+    return;
+  }
+  EnumerateLocked(name);
+}
+
+void CrashSimulator::EnumerateLocked(const char* name) {
+  if (!checker_ || exhausted_) {
+    return;
+  }
+  const int64_t point = points_seen_++;
+  if (options_.point_stride > 1 && point % options_.point_stride != 0) {
+    return;
+  }
+  if (options_.replay_point >= 0 && point != options_.replay_point) {
+    return;
+  }
+
+  // Dirty lines: stored but never flushed. Found by diffing the live region
+  // against the shadow; lines already tracked as pending/WC are excluded
+  // (they are candidates via their snapshots).
+  std::vector<uint64_t> dirty;
+  const uint64_t lines = region_->size() / kCacheLineSize;
+  const char* live = region_->base();
+  for (uint64_t line = 0; line < lines; ++line) {
+    if (std::memcmp(live + line * kCacheLineSize,
+                    shadow_.data() + line * kCacheLineSize,
+                    kCacheLineSize) != 0) {
+      if (pending_.count(line) == 0 && wc_.count(line) == 0) {
+        dirty.push_back(line);
+      }
+    }
+  }
+
+  const int total_draws = 2 + options_.random_draws_per_point;
+  for (int draw = 0; draw < total_draws; ++draw) {
+    if (options_.replay_draw >= 0 && draw != options_.replay_draw) {
+      continue;
+    }
+    if (images_checked_ >= static_cast<uint64_t>(options_.max_images)) {
+      exhausted_ = true;
+      return;
+    }
+    images_checked_++;
+    Status st = MaterializeAndCheckLocked(dirty, point, draw);
+    if (!st.ok()) {
+      CrashSimFailure failure;
+      failure.point_index = point;
+      failure.point_name = name;
+      failure.draw = draw;
+      failure.seed = options_.seed;
+      failure.status = st;
+      failures_.push_back(std::move(failure));
+      if (options_.stop_on_failure) {
+        exhausted_ = true;
+        return;
+      }
+    }
+  }
+}
+
+Status CrashSimulator::MaterializeAndCheckLocked(
+    const std::vector<uint64_t>& dirty, int64_t point, int draw) {
+  // Start from the guaranteed-persistent image and overlay the draw's
+  // surviving subset of unsealed lines.
+  std::vector<char> image = shadow_;
+  const char* live = region_->base();
+  auto overlay_snapshot = [&](uint64_t line,
+                              const std::array<char, 64>& snap) {
+    std::memcpy(image.data() + line * kCacheLineSize, snap.data(),
+                kCacheLineSize);
+  };
+  auto overlay_current = [&](uint64_t line) {
+    std::memcpy(image.data() + line * kCacheLineSize,
+                live + line * kCacheLineSize, kCacheLineSize);
+  };
+
+  if (draw == 1) {
+    // All retired flushes persist, nothing else: the state the protocol
+    // must tolerate when a crash lands between a flush and its fence.
+    for (const auto& [line, snap] : pending_) {
+      overlay_snapshot(line, snap);
+    }
+  } else if (draw >= 2) {
+    // Seeded random subset; (seed, point, draw) replays the exact image.
+    Rng rng(options_.seed ^ Mix64(static_cast<uint64_t>(point) * 1000003ULL +
+                                  static_cast<uint64_t>(draw)));
+    for (const auto& [line, snap] : pending_) {
+      switch (rng.Uniform(3)) {
+        case 0: break;                          // dropped
+        case 1: overlay_snapshot(line, snap); break;  // flushed value
+        default: overlay_current(line); break;  // re-dirtied value evicted
+      }
+    }
+    for (const auto& [line, snap] : wc_) {
+      switch (rng.Uniform(3)) {
+        case 0: break;
+        case 1: overlay_snapshot(line, snap); break;
+        default: overlay_current(line); break;
+      }
+    }
+    for (uint64_t line : dirty) {
+      if (rng.Chance(1, 2)) {
+        overlay_current(line);  // spontaneous cache eviction
+      }
+    }
+  }
+  // draw == 0: pure shadow — nothing unsealed survived.
+
+  const int fd = ::open(options_.image_path.c_str(),
+                        O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) {
+    return Status(ErrorCode::kIoError,
+                  std::string("crash image open failed: ") +
+                      std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < image.size()) {
+    const ssize_t n =
+        ::write(fd, image.data() + written, image.size() - written);
+    if (n <= 0) {
+      ::close(fd);
+      return Status(ErrorCode::kIoError, "crash image write failed");
+    }
+    written += static_cast<size_t>(n);
+  }
+  ::close(fd);
+
+  // The checker must not touch the attached region (it would re-enter the
+  // hooks on this thread); it boots an independent system on the image.
+  in_check_ = true;
+  Status st = checker_(options_.image_path);
+  in_check_ = false;
+  return st;
+}
+
+void CrashSimulator::OnRegionDestroyed() {
+  std::lock_guard lock(mu_);
+  region_ = nullptr;
+}
+
+bool CrashSimulator::ok() const {
+  std::lock_guard lock(mu_);
+  return failures_.empty();
+}
+
+std::string CrashSimulator::Report() const {
+  std::lock_guard lock(mu_);
+  std::string out = "crash-sim: " + std::to_string(images_checked_) +
+                    " images over " + std::to_string(points_seen_) +
+                    " interest points, seed " +
+                    std::to_string(options_.seed) + ", " +
+                    std::to_string(failures_.size()) + " failure(s)";
+  for (const auto& f : failures_) {
+    out += "\n  " + f.ToString();
+  }
+  return out;
+}
+
+}  // namespace aerie

@@ -1,0 +1,172 @@
+// Cache-line-granularity crash-state enumeration for the emulated SCM
+// (Yat/PMTest-style persistence checking; see DESIGN.md "Crash simulation").
+//
+// The DRAM-backed ScmRegion persists every store whether or not it was
+// flushed, so crash tests that merely reopen the backing file cannot see a
+// missing WlFlush or a misordered Fence. CrashSimulator models what would
+// actually have reached SCM on real hardware:
+//
+//   * a shadow copy of the region holds the *guaranteed-persistent* image —
+//     everything sealed by a completed flush+fence (or stream+BFlush);
+//   * WlFlush snapshots the covered lines into a flushed-pending set (the
+//     flush has retired, persistence is guaranteed only at the next Fence);
+//   * StreamWrite snapshots lines into a write-combining set; BFlush seals
+//     the WC set into the shadow (paper §5.1: streaming stores + BFlush);
+//   * Fence seals the flushed-pending set, closing the epoch;
+//   * plain stores are *dirty* lines — found by diffing the live region
+//     against the shadow — which a crash may or may not persist (cache
+//     eviction is spontaneous on real hardware).
+//
+// At each interest point (every Fence, plus explicit ScmRegion::CrashPoint
+// markers), the simulator enumerates crash images: the shadow plus a chosen
+// subset of the unsealed (pending / WC / dirty) lines. Draw 0 is the pure
+// shadow ("nothing unsealed made it"), draw 1 persists every flushed-pending
+// line ("all retired flushes made it, nothing else"), and further draws take
+// seeded random subsets, choosing per line between its dropped, snapshot,
+// and current values. Each image is materialized to a file and handed to a
+// caller-supplied checker (typically: reboot an AerieSystem on it, run
+// recovery + fsck, assert prefix semantics). Failures record (seed, point,
+// draw) so any image can be replayed exactly.
+//
+// Mutation mode: persistence call sites register string names in the
+// PersistSiteRegistry; SuppressSite(id) makes the simulator ignore that
+// site's flush/fence effects, emulating the protocol bug of omitting it.
+// A correct checker must then report corruption — proving the tool has
+// teeth (ISSUE: mutation testing of the checker itself).
+#ifndef AERIE_SRC_SCM_CRASH_SIM_H_
+#define AERIE_SRC_SCM_CRASH_SIM_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/scm/pmem.h"
+
+namespace aerie {
+
+// Process-wide registry of suppressible persistence call sites. Sites are
+// registered once (function-local static at the call site) and identified
+// by a small integer id; names are stable, dot-separated paths such as
+// "txlog.commit.bflush".
+class PersistSiteRegistry {
+ public:
+  static PersistSiteRegistry& Instance();
+
+  // Returns the id for `name`, registering it on first use.
+  int Register(const std::string& name);
+  // -1 when no site has that name.
+  int Find(const std::string& name) const;
+  std::string Name(int site) const;  // empty for unknown ids
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> names_;
+};
+
+// Call-site helper: `static const int site = RegisterPersistSite("...");`
+int RegisterPersistSite(const char* name);
+
+struct CrashSimOptions {
+  uint64_t seed = 1;
+  // Random-subset draws per interest point, in addition to the two
+  // deterministic draws (pure shadow; shadow + all flushed-pending lines).
+  int random_draws_per_point = 2;
+  // Check every Nth interest point (1 = all).
+  int point_stride = 1;
+  // Total crash-image budget; enumeration stops charging once exhausted.
+  int max_images = 500;
+  // Stop enumerating after the first failing image (mutation tests).
+  bool stop_on_failure = true;
+  // File the crash images are materialized into (reused per draw).
+  std::string image_path = "/tmp/aerie_crash_image.img";
+  // Replay mode: when >= 0, only this (point, draw) pair is checked —
+  // reproducing a failure from a recorded seed/point/draw triple.
+  int64_t replay_point = -1;
+  int replay_draw = -1;
+
+  // Applies AERIE_CRASH_SAMPLES (image budget) and AERIE_CRASH_SEED
+  // environment overrides, the CI knobs for nightly extended sweeps.
+  static CrashSimOptions FromEnv(CrashSimOptions base);
+};
+
+struct CrashSimFailure {
+  int64_t point_index = 0;
+  std::string point_name;
+  int draw = 0;
+  uint64_t seed = 0;
+  Status status;
+
+  // "point=12 (txlog.commit) draw=3 seed=99: <status>" — enough to replay.
+  std::string ToString() const;
+};
+
+class CrashSimulator {
+ public:
+  // Receives the path of a materialized crash image; returns OK when the
+  // image recovers cleanly (reboot + recovery + fsck + oracle) and an error
+  // describing the corruption otherwise.
+  using Checker = std::function<Status(const std::string& image_path)>;
+
+  // Attaches to `region` on construction and detaches on destruction.
+  CrashSimulator(ScmRegion* region, CrashSimOptions options, Checker checker);
+  ~CrashSimulator();
+
+  CrashSimulator(const CrashSimulator&) = delete;
+  CrashSimulator& operator=(const CrashSimulator&) = delete;
+
+  // Mutation mode: the given registered site's flushes/fences are ignored.
+  void SuppressSite(int site);
+  void ClearSuppressedSites();
+
+  // --- Hooks called by ScmRegion (do not call directly) ---
+  void OnWlFlush(const void* addr, size_t len, int site);
+  void OnStreamWrite(const void* dst, size_t len);
+  void OnBFlush(int site);
+  void OnFence(int site);
+  void OnInterestPoint(const char* name);
+  void OnRegionDestroyed();
+
+  // --- Results ---
+  bool ok() const;
+  const std::vector<CrashSimFailure>& failures() const { return failures_; }
+  uint64_t images_checked() const { return images_checked_; }
+  int64_t points_seen() const { return points_seen_; }
+  std::string Report() const;
+
+ private:
+  // 64-byte snapshot of one cache line, keyed by line index in the region.
+  using LineMap = std::unordered_map<uint64_t, std::array<char, 64>>;
+
+  void SnapshotLines(const void* addr, size_t len, LineMap* into);
+  void SealLocked(LineMap* from);
+  void EnumerateLocked(const char* name);
+  Status MaterializeAndCheckLocked(const std::vector<uint64_t>& dirty,
+                                   int64_t point, int draw);
+
+  ScmRegion* region_;  // null after OnRegionDestroyed
+  const CrashSimOptions options_;
+  Checker checker_;
+
+  mutable std::mutex mu_;
+  std::vector<char> shadow_;   // guaranteed-persistent image
+  LineMap pending_;            // WlFlushed, awaiting Fence
+  LineMap wc_;                 // StreamWritten, awaiting BFlush
+  std::unordered_set<int> suppressed_;
+  bool in_check_ = false;      // re-entrancy guard during checker callbacks
+  bool exhausted_ = false;
+
+  int64_t points_seen_ = 0;
+  uint64_t images_checked_ = 0;
+  std::vector<CrashSimFailure> failures_;
+};
+
+}  // namespace aerie
+
+#endif  // AERIE_SRC_SCM_CRASH_SIM_H_

@@ -9,6 +9,7 @@
 
 #include "src/common/clock.h"
 #include "src/obs/trace.h"
+#include "src/scm/crash_sim.h"
 
 namespace aerie {
 
@@ -60,6 +61,10 @@ Result<std::unique_ptr<ScmRegion>> ScmRegion::OpenFileBacked(
 }
 
 ScmRegion::~ScmRegion() {
+  if (crash_sim_ != nullptr) {
+    crash_sim_->OnRegionDestroyed();
+    crash_sim_ = nullptr;
+  }
   ::munmap(base_, size_);
   if (fd_ >= 0) {
     ::close(fd_);
@@ -74,7 +79,7 @@ void ScmRegion::ChargeLines(uint64_t lines) {
   }
 }
 
-void ScmRegion::WlFlush(const void* addr, size_t len) {
+void ScmRegion::WlFlush(const void* addr, size_t len, int site) {
   AERIE_SPAN("scm", "wl_flush");
   const uint64_t lines = LinesCovering(addr, len);
 #if defined(__x86_64__)
@@ -87,11 +92,17 @@ void ScmRegion::WlFlush(const void* addr, size_t len) {
   std::atomic_thread_fence(std::memory_order_seq_cst);
 #endif
   ChargeLines(lines);
+  if (crash_sim_ != nullptr) {
+    crash_sim_->OnWlFlush(addr, len, site);
+  }
 }
 
-void ScmRegion::Fence() {
+void ScmRegion::Fence(int site) {
   std::atomic_thread_fence(std::memory_order_seq_cst);
   stats_.fences.Add(1);
+  if (crash_sim_ != nullptr) {
+    crash_sim_->OnFence(site);
+  }
 }
 
 void ScmRegion::StreamWrite(void* dst, const void* src, size_t len) {
@@ -101,15 +112,27 @@ void ScmRegion::StreamWrite(void* dst, const void* src, size_t len) {
   stats_.bytes_streamed.Add(len);
   pending_wc_lines_.fetch_add(LinesCovering(dst, len),
                               std::memory_order_relaxed);
+  if (crash_sim_ != nullptr) {
+    crash_sim_->OnStreamWrite(dst, len);
+  }
 }
 
-void ScmRegion::BFlush() {
+void ScmRegion::BFlush(int site) {
   AERIE_SPAN("scm", "bflush");
   std::atomic_thread_fence(std::memory_order_seq_cst);
   stats_.wc_drains.Add(1);
   const uint64_t lines = pending_wc_lines_.exchange(0);
   obs::TraceInstant("scm.bflush.lines", lines);
   ChargeLines(lines);
+  if (crash_sim_ != nullptr) {
+    crash_sim_->OnBFlush(site);
+  }
+}
+
+void ScmRegion::CrashPoint(const char* name) {
+  if (crash_sim_ != nullptr) {
+    crash_sim_->OnInterestPoint(name);
+  }
 }
 
 Status ScmRegion::HardProtect(uint64_t offset, size_t len, int rights) {

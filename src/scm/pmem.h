@@ -30,8 +30,14 @@
 
 namespace aerie {
 
+class CrashSimulator;
+
 inline constexpr size_t kCacheLineSize = 64;
 inline constexpr size_t kScmPageSize = 4096;
+
+// Sentinel for persistence calls that are not registered as suppressible
+// sites in the crash-simulation mutation registry (src/scm/crash_sim.h).
+inline constexpr int kNoPersistSite = -1;
 
 // Latency injected at persistence points. All values in nanoseconds; a value
 // of zero means "raw DRAM speed" (the paper's default configuration).
@@ -98,28 +104,48 @@ class ScmRegion {
   }
 
   // --- Persistence primitives (Mnemosyne-style, paper §5.1) ---
+  //
+  // The optional `site` argument names the call site in the crash-sim
+  // mutation registry (RegisterPersistSite); in AERIE_CRASH_SIM mode the
+  // simulator can suppress a registered site to prove the checker detects
+  // the resulting ordering bug. Sites default to kNoPersistSite.
 
   // Flushes the cache lines covering [addr, addr+len) to SCM.
-  void WlFlush(const void* addr, size_t len);
+  void WlFlush(const void* addr, size_t len, int site = kNoPersistSite);
 
   // Orders subsequent SCM writes after preceding ones.
-  void Fence();
+  void Fence(int site = kNoPersistSite);
 
   // Streams `len` bytes to dst via write-combining (non-temporal) stores.
   // Data is *not* persistent until BFlush().
   void StreamWrite(void* dst, const void* src, size_t len);
 
   // Drains write-combining buffers: everything streamed so far is persistent.
-  void BFlush();
+  void BFlush(int site = kNoPersistSite);
 
   // Convenience: store + WlFlush of a 64-bit value (the atomic-commit write
   // used by shadow updates).
-  void PersistU64(uint64_t* dst, uint64_t value) {
+  void PersistU64(uint64_t* dst, uint64_t value,
+                  int flush_site = kNoPersistSite,
+                  int fence_site = kNoPersistSite) {
     reinterpret_cast<std::atomic<uint64_t>*>(dst)->store(
         value, std::memory_order_release);
-    WlFlush(dst, sizeof(uint64_t));
-    Fence();
+    WlFlush(dst, sizeof(uint64_t), flush_site);
+    Fence(fence_site);
   }
+
+  // Named interest point for the crash simulator (no-op otherwise): marks a
+  // protocol step worth enumerating crash images at, beyond the implicit
+  // point at every Fence.
+  void CrashPoint(const char* name);
+
+  // Attaches/detaches a crash simulator observing this region's persistence
+  // traffic. The simulator must outlive the attachment (it detaches itself
+  // in its destructor); not thread-safe versus concurrent primitive calls,
+  // so attach before the workload starts.
+  void AttachCrashSim(CrashSimulator* sim) { crash_sim_ = sim; }
+  void DetachCrashSim() { crash_sim_ = nullptr; }
+  CrashSimulator* crash_sim() const { return crash_sim_; }
 
   ScmLatencyModel& latency_model() { return latency_; }
   ScmStats& stats() { return stats_; }
@@ -142,6 +168,7 @@ class ScmRegion {
   ScmStats stats_;
   // Cache lines streamed since the last BFlush (approximates WC occupancy).
   std::atomic<uint64_t> pending_wc_lines_{0};
+  CrashSimulator* crash_sim_ = nullptr;
 };
 
 }  // namespace aerie

@@ -590,6 +590,9 @@ Status TrustedFsService::ApplyBatch(uint64_t client_id,
       result = st;  // validated ops should not fail; surface and continue
     }
     ops_applied_.Add(1);
+    // Crash-sim interest point: the op is applied in place but the log
+    // still holds its committed record (replay must be idempotent here).
+    ctx_.region->CrashPoint("tfs.apply");
   }
 
   // Checkpoint: drop the log once no batch is mid-apply.
@@ -598,6 +601,7 @@ Status TrustedFsService::ApplyBatch(uint64_t client_id,
     applies_in_flight_--;
     if (applies_in_flight_ == 0) {
       log->Truncate();
+      ctx_.region->CrashPoint("tfs.checkpoint");
     }
   }
   batches_applied_.Add(1);

@@ -5,6 +5,7 @@
 #include "src/common/hash.h"
 #include "src/obs/obs.h"
 #include "src/obs/trace.h"
+#include "src/scm/crash_sim.h"
 
 namespace aerie {
 
@@ -84,6 +85,9 @@ Status RedoLog::Append(uint32_t type, std::span<const char> payload) {
   }
   volatile_tail_ += need;
   AERIE_COUNT_N("txlog.append.bytes", need);
+  // Mid-epoch interest point: record bytes sit in the WC buffers and any
+  // subset of them may reach SCM; the commit pointer must shield replay.
+  region_->CrashPoint("txlog.append");
   return OkStatus();
 }
 
@@ -91,12 +95,24 @@ Status RedoLog::Commit() {
   AERIE_SPAN("txlog", "commit");
   AERIE_COUNT("txlog.commit.count");
   obs::TraceInstant("txlog.commit.bytes", volatile_tail_);
+  // Registered persistence sites (crash-sim mutation targets). Suppressing
+  // any of them is a detectable protocol bug: without the BFlush the commit
+  // pointer can cover garbage record bytes; without the publish flush a
+  // crash mid-apply has no committed record to replay. The fences here are
+  // deliberately NOT registered — the apply path fences before anything
+  // depends on them, so their suppression is masked by protocol redundancy
+  // and a mutation test could never detect it (see DESIGN.md).
+  static const int kCommitBFlushSite =
+      RegisterPersistSite("txlog.commit.bflush");
+  static const int kCommitPublishFlushSite =
+      RegisterPersistSite("txlog.commit.publish.flush");
   // Drain the WC buffers so record bytes are persistent, order the commit
   // pointer after them, then publish with one atomic 64-bit store.
-  region_->BFlush();
+  region_->BFlush(kCommitBFlushSite);
   region_->Fence();
   auto* hdr = reinterpret_cast<LogHeaderRep*>(region_->PtrAt(offset_));
-  region_->PersistU64(&hdr->head, volatile_tail_);
+  region_->PersistU64(&hdr->head, volatile_tail_, kCommitPublishFlushSite);
+  region_->CrashPoint("txlog.commit");
   return OkStatus();
 }
 
@@ -126,9 +142,15 @@ Status RedoLog::Replay(const ReplayFn& fn) const {
 }
 
 void RedoLog::Truncate() {
+  // Suppressing this flush leaves the old (larger) head covering a mix of
+  // freshly appended and stale record bytes — replay then walks across the
+  // torn boundary and fails the checksum.
+  static const int kTruncatePublishFlushSite =
+      RegisterPersistSite("txlog.truncate.publish.flush");
   auto* hdr = reinterpret_cast<LogHeaderRep*>(region_->PtrAt(offset_));
-  region_->PersistU64(&hdr->head, 0);
+  region_->PersistU64(&hdr->head, 0, kTruncatePublishFlushSite);
   volatile_tail_ = 0;
+  region_->CrashPoint("txlog.truncate");
 }
 
 }  // namespace aerie

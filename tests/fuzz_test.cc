@@ -3,6 +3,7 @@
 // (which must reject arbitrary garbage without crashing or corrupting).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 
 #include "src/common/rand.h"
@@ -12,6 +13,18 @@
 
 namespace aerie {
 namespace {
+
+// Round budget, scaled by AERIE_FUZZ_SCALE (nightly CI runs a multiple of
+// the per-commit budget; see .github/workflows/crash-matrix.yml).
+int FuzzRounds(int base) {
+  if (const char* scale = std::getenv("AERIE_FUZZ_SCALE")) {
+    const long v = std::strtol(scale, nullptr, 10);
+    if (v > 0) {
+      return static_cast<int>(base * v);
+    }
+  }
+  return base;
+}
 
 std::string RandomBytes(Rng* rng, size_t max_len) {
   std::string out(rng->Uniform(max_len + 1), '\0');
@@ -23,7 +36,7 @@ std::string RandomBytes(Rng* rng, size_t max_len) {
 
 TEST(FuzzTest, WireReaderNeverOverreads) {
   Rng rng(1);
-  for (int round = 0; round < 5000; ++round) {
+  for (int round = 0; round < FuzzRounds(5000); ++round) {
     const std::string bytes = RandomBytes(&rng, 64);
     WireReader reader(bytes);
     // Interleave random read kinds; every result must be bounds-checked.
@@ -58,7 +71,7 @@ TEST(FuzzTest, WireReaderNeverOverreads) {
 TEST(FuzzTest, DecodeBatchRejectsGarbageGracefully) {
   Rng rng(2);
   int accepted = 0;
-  for (int round = 0; round < 5000; ++round) {
+  for (int round = 0; round < FuzzRounds(5000); ++round) {
     const std::string bytes = RandomBytes(&rng, 256);
     auto ops = DecodeBatch(bytes);
     if (ops.ok()) {
@@ -98,7 +111,7 @@ TEST(FuzzTest, ApplyBatchSurvivesGarbageAndMaliciousOps) {
 
   Rng rng(3);
   // Raw garbage.
-  for (int round = 0; round < 500; ++round) {
+  for (int round = 0; round < FuzzRounds(500); ++round) {
     const std::string bytes = RandomBytes(&rng, 512);
     (void)(*sys)->tfs()->ApplyBatch((*client)->id(), bytes);
   }
@@ -109,7 +122,7 @@ TEST(FuzzTest, ApplyBatchSurvivesGarbageAndMaliciousOps) {
                             LockMode::kExclusiveHier)
                   .ok());
   fs->clerk()->Release(fs->pxfs_root().lock_id());
-  for (int round = 0; round < 500; ++round) {
+  for (int round = 0; round < FuzzRounds(500); ++round) {
     MetaOp op;
     op.type = static_cast<MetaOpType>(rng.Uniform(14));
     op.authority = rng.Chance(1, 2) ? fs->pxfs_root().lock_id() : rng.Next();

@@ -1,0 +1,69 @@
+#!/bin/sh
+# Nightly crash-matrix driver (.github/workflows/crash-matrix.yml).
+#
+#   tools/run_crash_matrix.sh [build-dir]
+#
+# Runs the crash-state enumeration suites with an extended image budget and
+# the fuzzers with a multiplied round budget. Environment knobs:
+#
+#   AERIE_CRASH_SAMPLES  crash-image budget for the clean sweep (default 5000)
+#   AERIE_CRASH_SEED     sweep seed (default: today's date, so each night
+#                        explores a different corner; printed for replay)
+#   AERIE_FUZZ_SCALE     multiplier on fuzz_test round counts (default 10)
+#   ARTIFACT_DIR         where logs land (default crash-matrix-artifacts/)
+#
+# Every suite's log is kept in ARTIFACT_DIR; on failure the log names the
+# (seed, point, draw) triple — see README "Replaying a crash-matrix failure".
+set -u
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$repo/build"}
+artifacts=${ARTIFACT_DIR:-"$repo/crash-matrix-artifacts"}
+
+AERIE_CRASH_SAMPLES=${AERIE_CRASH_SAMPLES:-5000}
+AERIE_CRASH_SEED=${AERIE_CRASH_SEED:-$(date +%Y%m%d)}
+AERIE_FUZZ_SCALE=${AERIE_FUZZ_SCALE:-10}
+export AERIE_CRASH_SAMPLES AERIE_CRASH_SEED AERIE_FUZZ_SCALE
+
+echo "crash matrix: samples=$AERIE_CRASH_SAMPLES seed=$AERIE_CRASH_SEED" \
+     "fuzz_scale=$AERIE_FUZZ_SCALE"
+
+cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo || exit 1
+cmake --build "$build" -j "$(nproc)" \
+      --target crash_sim_test crash_random_test fuzz_test || exit 1
+
+mkdir -p "$artifacts"
+status=0
+
+run() {
+  name=$1
+  shift
+  echo "== $name =="
+  if "$@" >"$artifacts/$name.log" 2>&1; then
+    tail -2 "$artifacts/$name.log"
+  else
+    status=1
+    echo "FAILED: $name (log: $artifacts/$name.log)" >&2
+    tail -40 "$artifacts/$name.log" >&2
+  fi
+}
+
+run crash_sim_sweep \
+    "$build/tests/crash_sim_test" --gtest_filter='CrashSimTest.*'
+run crash_sim_mutation \
+    "$build/tests/crash_sim_test" --gtest_filter='CrashMutationTest.*'
+run crash_random "$build/tests/crash_random_test"
+run fuzz "$build/tests/fuzz_test"
+
+{
+  echo "samples=$AERIE_CRASH_SAMPLES"
+  echo "seed=$AERIE_CRASH_SEED"
+  echo "fuzz_scale=$AERIE_FUZZ_SCALE"
+  echo "status=$status"
+} >"$artifacts/matrix-params.txt"
+
+if [ "$status" -ne 0 ]; then
+  echo "crash matrix FAILED; replay with AERIE_CRASH_SEED=$AERIE_CRASH_SEED" \
+       "and the (point, draw) printed in the failing log" >&2
+fi
+exit $status
