@@ -4,6 +4,7 @@
 // locks locally, so metadata-heavy single-client workloads avoid per-file
 // lock RPCs entirely. With explicit (X) locks every file lock is a service
 // acquisition. Reports throughput and the clerk's global-acquire counts.
+#include <algorithm>
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -20,6 +21,8 @@ int main() {
   std::printf("%-14s %12s %16s %16s\n", "dir locks", "iter/s",
               "global-acquires", "local-grants");
 
+  obs::BenchReport report = MakeReport("ablation_lock_modes");
+
   for (const bool hierarchical : {true, false}) {
     auto sut = SystemUnderTest::Create(SutKind::kPxfs, DefaultSutOptions());
     BENCH_CHECK_OK(sut);
@@ -33,7 +36,7 @@ int main() {
     FilebenchRunner runner(
         &adapter,
         FilebenchProfile::Paper(FilebenchKind::kFileserver, scale),
-        "/bench", 77);
+        "/bench", Seed() + 77);
     BENCH_CHECK_STATUS(runner.Prepare());
     LockClerk* clerk = (*client)->fs()->clerk();
     const uint64_t acquires_before = clerk->global_acquires();
@@ -47,6 +50,25 @@ int main() {
                                                 acquires_before),
                 static_cast<unsigned long long>(clerk->local_grants() -
                                                 locals_before));
+    report.AddMetric(std::string("fileserver.") +
+                         (hierarchical ? "hierarchical" : "explicit"),
+                     *tput, ops);
   }
+
+  // Attribution pass: short span-mode hierarchical-lock run (the default
+  // configuration), so clerk/lock self-time lands in the record.
+  SpanAttributionPass([&] {
+    auto sut = SystemUnderTest::Create(SutKind::kPxfs, DefaultSutOptions());
+    BENCH_CHECK_OK(sut);
+    FilebenchRunner runner(
+        (*sut)->fs(),
+        FilebenchProfile::Paper(FilebenchKind::kFileserver, scale), "/bench",
+        Seed() + 77);
+    BENCH_CHECK_STATUS(runner.Prepare());
+    Histogram ops;
+    BENCH_CHECK_OK(runner.RunForSeconds(std::min(seconds, 0.5), &ops));
+  });
+  report.CaptureAttribution();
+  FinishReport(report);
   return 0;
 }

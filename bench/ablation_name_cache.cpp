@@ -4,6 +4,7 @@
 //
 // Runs each workload on PXFS with the cache enabled and disabled (PXFS-NNC)
 // and reports throughput, speedup, and cache hit rates.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -22,10 +23,13 @@ int main() {
   std::printf("%-11s %12s %12s %9s %10s\n", "workload", "PXFS it/s",
               "NNC it/s", "speedup", "hit-rate");
 
+  obs::BenchReport report = MakeReport("ablation_name_cache");
+
   const FilebenchKind profiles[] = {FilebenchKind::kFileserver,
                                     FilebenchKind::kWebserver,
                                     FilebenchKind::kWebproxy};
   for (FilebenchKind kind : profiles) {
+    const std::string workload(FilebenchKindName(kind));
     double tput[2] = {0, 0};
     double hit_rate = 0;
     for (int cached = 1; cached >= 0; --cached) {
@@ -34,12 +38,14 @@ int main() {
       BENCH_CHECK_OK(sut);
       FilebenchRunner runner((*sut)->fs(),
                              FilebenchProfile::Paper(kind, scale), "/bench",
-                             33);
+                             Seed() + 33);
       BENCH_CHECK_STATUS(runner.Prepare());
       Histogram ops;
       auto result = runner.RunForSeconds(seconds, &ops);
       BENCH_CHECK_OK(result);
       tput[cached] = *result;
+      report.AddMetric(workload + (cached ? ".pxfs" : ".pxfs_nnc"), *result,
+                       ops);
       if (cached) {
         const uint64_t hits = (*sut)->pxfs()->name_cache_hits();
         const uint64_t misses = (*sut)->pxfs()->name_cache_misses();
@@ -49,9 +55,26 @@ int main() {
                        : 0;
       }
     }
-    std::printf("%-11s %12.1f %12.1f %8.1f%% %9.1f%%\n",
-                std::string(FilebenchKindName(kind)).c_str(), tput[1],
-                tput[0], 100.0 * (tput[1] / tput[0] - 1.0), hit_rate);
+    std::printf("%-11s %12.1f %12.1f %8.1f%% %9.1f%%\n", workload.c_str(),
+                tput[1], tput[0], 100.0 * (tput[1] / tput[0] - 1.0),
+                hit_rate);
+    report.AddValue(workload + ".hit_rate", hit_rate, "percent");
   }
+
+  // Attribution pass: short span-mode Webproxy run (the workload with the
+  // largest name-cache speedup) on cached PXFS.
+  SpanAttributionPass([&] {
+    auto sut = SystemUnderTest::Create(SutKind::kPxfs, DefaultSutOptions());
+    BENCH_CHECK_OK(sut);
+    FilebenchRunner runner(
+        (*sut)->fs(),
+        FilebenchProfile::Paper(FilebenchKind::kWebproxy, scale), "/bench",
+        Seed() + 33);
+    BENCH_CHECK_STATUS(runner.Prepare());
+    Histogram ops;
+    BENCH_CHECK_OK(runner.RunForSeconds(std::min(seconds, 0.5), &ops));
+  });
+  report.CaptureAttribution();
+  FinishReport(report);
   return 0;
 }

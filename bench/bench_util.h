@@ -5,10 +5,16 @@
 //                          0.05; 1.0 reproduces the paper's sizes)
 //   AERIE_BENCH_SECONDS  — measurement window per data point (default 2)
 //   AERIE_BENCH_THREADS  — max threads for scaling sweeps (default 4)
+//   AERIE_BENCH_SEED     — base RNG seed; every runner derives its seed
+//                          from this so a sweep is reproducible (default 42)
+//   AERIE_BENCH_JSON     — when set, the binary writes its BenchReport
+//                          record (schema-versioned JSON) to this path
+//   AERIE_GIT_SHA        — stamped into the record by the driver
 //
 // Every binary prints a Markdown-ish table mirroring the paper's artifact,
 // plus the paper's numbers alongside where useful (EXPERIMENTS.md records
-// both).
+// both), and emits one obs::BenchReport record for the trajectory harness
+// (tools/run_benches.sh aggregates them into BENCH_<date>.json).
 #ifndef AERIE_BENCH_BENCH_UTIL_H_
 #define AERIE_BENCH_BENCH_UTIL_H_
 
@@ -17,6 +23,8 @@
 #include <string>
 
 #include "src/common/histogram.h"
+#include "src/obs/bench_report.h"
+#include "src/obs/obs.h"
 #include "src/workload/filebench.h"
 #include "src/workload/sut.h"
 
@@ -32,6 +40,11 @@ inline double Scale() { return EnvDouble("AERIE_BENCH_SCALE", 0.05); }
 inline double Seconds() { return EnvDouble("AERIE_BENCH_SECONDS", 2.0); }
 inline int MaxThreads() {
   return static_cast<int>(EnvDouble("AERIE_BENCH_THREADS", 4));
+}
+// Base seed every bench derives its per-runner seeds from (seed + fixed
+// offset), so one AERIE_BENCH_SEED value pins the whole sweep.
+inline uint64_t Seed() {
+  return static_cast<uint64_t>(EnvDouble("AERIE_BENCH_SEED", 42));
 }
 
 inline SystemUnderTest::Options DefaultSutOptions() {
@@ -66,6 +79,39 @@ inline SystemUnderTest::Options DefaultSutOptions() {
 inline double MeanUs(const Histogram& hist) { return hist.Mean() / 1e3; }
 inline double P95Us(const Histogram& hist) {
   return static_cast<double>(hist.Percentile(95)) / 1e3;
+}
+
+// One BenchReport pre-stamped with the shared environment knobs; benches
+// add their own config keys and metric rows on top.
+inline obs::BenchReport MakeReport(const char* bench) {
+  obs::BenchReport report(bench);
+  report.SetConfig("scale", Scale());
+  report.SetConfig("seconds", Seconds());
+  report.SetConfig("threads", static_cast<double>(MaxThreads()));
+  report.SetConfig("seed", static_cast<double>(Seed()));
+  return report;
+}
+
+// Runs `fn` with trace spans forced on against a zeroed registry, then
+// restores the previous mode. Span recording perturbs throughput, so every
+// bench measures first and attributes afterwards on a short rerun; call
+// report.CaptureAttribution() right after this returns.
+template <typename Fn>
+inline void SpanAttributionPass(Fn&& fn) {
+  obs::ResetAll();
+  const obs::Mode saved = obs::CurrentMode();
+  obs::SetMode(obs::Mode::kSpans);
+  fn();
+  obs::SetMode(saved);
+}
+
+// Finishes a record: write to $AERIE_BENCH_JSON (if set) and surface the
+// path on stdout so driver logs show where each record landed.
+inline void FinishReport(const obs::BenchReport& report) {
+  const std::string path = report.WriteIfConfigured();
+  if (!path.empty()) {
+    std::printf("BENCH_JSON_FILE %s\n", path.c_str());
+  }
 }
 
 }  // namespace bench

@@ -7,6 +7,7 @@
 //
 // Here the instrumented VFS attributes wall time to the same categories
 // directly. AERIE_BENCH_SCALE scales the 1M-file population.
+#include <algorithm>
 #include <cinttypes>
 #include <string>
 #include <vector>
@@ -174,6 +175,9 @@ int main() {
         [&](const std::string& p) { (void)vfs.Unlink(p); }, renamed));
   }
 
+  obs::BenchReport report = MakeReport("fig1_vfs_breakdown");
+  report.SetConfig("nfiles", static_cast<double>(nfiles));
+
   std::printf("%-8s %9s |", "op", "avg(us)");
   for (const char* cat : kCatNames) {
     std::printf(" %7s", cat);
@@ -186,9 +190,12 @@ int main() {
       std::printf(" %6.1f%%", pct);
     }
     std::printf("\n");
+    report.AddValue("vfs." + row.name + ".avg_us", row.avg_us, "us");
     // "generic semantics" = sync + memobj + naming (paper: 87% average).
     generic_sum += row.pct[2] + row.pct[3] + row.pct[4];
   }
+  report.AddValue("vfs.generic_semantics_share",
+                  generic_sum / static_cast<double>(rows.size()), "percent");
   std::printf("\ngeneric-semantics share (sync+memobj+naming), avg across "
               "ops: %.1f%%  (paper: ~87%%)\n",
               generic_sum / static_cast<double>(rows.size()));
@@ -199,6 +206,22 @@ int main() {
   std::printf("\n== obs registry (all measured ops) ==\n%s\n",
               obs::DumpText().c_str());
   std::printf("OBS_JSON %s\n", obs::DumpJson().c_str());
+
+  // Attribution pass: rerun stat/open over a slice of the tree with spans
+  // on, so the record carries vfs-layer self-time like every other bench.
+  bench::SpanAttributionPass([&] {
+    const size_t slice = std::min<size_t>(files.size(), 2000);
+    vfs.DropCaches();
+    for (size_t i = 0; i < slice; ++i) {
+      (void)vfs.Stat(files[i]);
+      auto fd = vfs.Open(files[i], kOpenRead);
+      if (fd.ok()) {
+        (void)vfs.Close(*fd);
+      }
+    }
+  });
+  report.CaptureAttribution();
+  bench::FinishReport(report);
   const std::string trace_path = obs::WriteTraceFileIfConfigured();
   if (!trace_path.empty()) {
     std::printf("TRACE_FILE %s\n", trace_path.c_str());

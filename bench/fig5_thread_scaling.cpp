@@ -9,6 +9,7 @@
 // NOTE: this host has a single CPU core, so absolute scaling flattens; the
 // *relative* per-system ordering and the FlatFS-vs-PXFS contention gap are
 // the reproducible shapes (EXPERIMENTS.md discusses this).
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <thread>
@@ -27,17 +28,18 @@ double RunThreads(SystemUnderTest* sut, FilebenchKind kind, double scale,
   std::vector<std::unique_ptr<FilebenchRunner>> runners;
   std::vector<std::unique_ptr<FlatWebproxyRunner>> flat_runners;
   FilebenchProfile profile = FilebenchProfile::Paper(kind, scale);
+  const uint64_t seed = Seed() + 100;
 
   for (int t = 0; t < threads; ++t) {
     if (flat) {
       auto runner = std::make_unique<FlatWebproxyRunner>(
           sut->flat(), profile, "wp" + std::to_string(t) + "_",
-          100 + static_cast<uint64_t>(t));
+          seed + static_cast<uint64_t>(t));
       BENCH_CHECK_STATUS(runner->Prepare());
       flat_runners.push_back(std::move(runner));
     } else {
       auto runner = std::make_unique<FilebenchRunner>(
-          sut->fs(), profile, "/bench", 100 + static_cast<uint64_t>(t),
+          sut->fs(), profile, "/bench", seed + static_cast<uint64_t>(t),
           static_cast<uint64_t>(t));
       BENCH_CHECK_STATUS(runner->Prepare());
       runners.push_back(std::move(runner));
@@ -84,6 +86,8 @@ int main() {
               "EXPERIMENTS.md)\n\n",
               scale, seconds);
 
+  obs::BenchReport report = MakeReport("fig5_thread_scaling");
+
   const FilebenchKind profiles[] = {FilebenchKind::kFileserver,
                                     FilebenchKind::kWebserver,
                                     FilebenchKind::kWebproxy};
@@ -107,6 +111,10 @@ int main() {
             RunThreads(sut->get(), profile, scale, seconds, t, false);
         std::printf(" %10.0f", tput);
         std::fflush(stdout);
+        report.AddThroughput(std::string(FilebenchKindName(profile)) + "." +
+                                 std::string(SutKindName(kind)) + ".t" +
+                                 std::to_string(t),
+                             tput);
       }
       std::printf("\n");
     }
@@ -121,10 +129,24 @@ int main() {
             RunThreads(sut->get(), profile, scale, seconds, t, true);
         std::printf(" %10.0f", tput);
         std::fflush(stdout);
+        report.AddThroughput(std::string(FilebenchKindName(profile)) +
+                                 ".flatfs.t" + std::to_string(t),
+                             tput);
       }
       std::printf("\n");
     }
     std::printf("\n");
   }
+
+  // Attribution pass: a short span-mode two-thread Webproxy run on PXFS
+  // (the contended configuration the figure is about).
+  SpanAttributionPass([&] {
+    auto sut = SystemUnderTest::Create(SutKind::kPxfs, DefaultSutOptions());
+    BENCH_CHECK_OK(sut);
+    RunThreads(sut->get(), FilebenchKind::kWebproxy, scale,
+               std::min(seconds, 0.5), 2, false);
+  });
+  report.CaptureAttribution();
+  FinishReport(report);
   return 0;
 }

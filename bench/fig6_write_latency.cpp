@@ -9,6 +9,7 @@
 // Expected shapes: the PXFS/ext4 gap narrows as write latency grows (block
 // access amortizes better), and FlatFS's specialization benefit shrinks as
 // storage cost dominates software cost.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -28,11 +29,12 @@ double MeasureOne(SutKind kind, FilebenchKind profile_kind, uint64_t delay_ns,
   auto sut = SystemUnderTest::Create(kind, DefaultSutOptions());
   BENCH_CHECK_OK(sut);
   FilebenchProfile profile = FilebenchProfile::Paper(profile_kind, scale);
+  const uint64_t seed = Seed() + 9;
   Histogram ops;
   uint64_t iterations = 0;
   double elapsed = 0;
   if (kind == SutKind::kFlatFs) {
-    FlatWebproxyRunner runner((*sut)->flat(), profile, "wp", 9);
+    FlatWebproxyRunner runner((*sut)->flat(), profile, "wp", seed);
     BENCH_CHECK_STATUS(runner.Prepare());
     (*sut)->SetWriteLatency(delay_ns);
     Stopwatch sw;
@@ -42,7 +44,7 @@ double MeasureOne(SutKind kind, FilebenchKind profile_kind, uint64_t delay_ns,
     }
     elapsed = sw.ElapsedSeconds();
   } else {
-    FilebenchRunner runner((*sut)->fs(), profile, "/bench", 9);
+    FilebenchRunner runner((*sut)->fs(), profile, "/bench", seed);
     BENCH_CHECK_STATUS(runner.Prepare());
     (*sut)->SetWriteLatency(delay_ns);
     Stopwatch sw;
@@ -80,6 +82,8 @@ int main() {
   };
   const uint64_t delays[] = {0, 100, 1000, 10000};
 
+  obs::BenchReport report = MakeReport("fig6_write_latency");
+
   std::printf("%-17s |", "series");
   for (uint64_t d : delays) {
     std::printf(" %8lluns", static_cast<unsigned long long>(d));
@@ -89,11 +93,30 @@ int main() {
     std::printf("%-17s |", s.name);
     std::fflush(stdout);
     for (uint64_t d : delays) {
-      std::printf(" %10.1f",
-                  MeasureOne(s.kind, s.profile, d, scale, seconds));
+      const double tput = MeasureOne(s.kind, s.profile, d, scale, seconds);
+      std::printf(" %10.1f", tput);
       std::fflush(stdout);
+      report.AddThroughput(std::string(s.name) + ".d" + std::to_string(d),
+                           tput);
     }
     std::printf("\n");
   }
+
+  // Attribution pass: short span-mode Fileserver run on PXFS at the 1000ns
+  // point, where flush self-time starts to matter.
+  SpanAttributionPass([&] {
+    auto sut = SystemUnderTest::Create(SutKind::kPxfs, DefaultSutOptions());
+    BENCH_CHECK_OK(sut);
+    FilebenchRunner runner(
+        (*sut)->fs(),
+        FilebenchProfile::Paper(FilebenchKind::kFileserver, scale), "/bench",
+        Seed() + 9);
+    BENCH_CHECK_STATUS(runner.Prepare());
+    (*sut)->SetWriteLatency(1000);
+    Histogram ops;
+    BENCH_CHECK_OK(runner.RunForSeconds(std::min(seconds, 0.5), &ops));
+  });
+  report.CaptureAttribution();
+  FinishReport(report);
   return 0;
 }

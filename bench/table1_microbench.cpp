@@ -45,8 +45,17 @@ int main() {
               static_cast<double>(config.random_bytes) / (1 << 20),
               static_cast<unsigned long long>(config.nfiles));
 
+  obs::BenchReport report = MakeReport("table1_microbench");
+  report.SetConfig("file_mb",
+                   static_cast<double>(config.file_bytes) / (1 << 20));
+  report.SetConfig("nfiles", static_cast<double>(config.nfiles));
+  const uint64_t seed = Seed();
+
   const SutKind kinds[] = {SutKind::kPxfs, SutKind::kRamFs, SutKind::kExt3,
                            SutKind::kExt4};
+  constexpr const char* kOpSlugs[8] = {"seq_read", "seq_write", "rand_read",
+                                       "rand_write", "open", "create",
+                                       "delete", "append"};
   // results[op][system] = mean us
   std::vector<std::vector<double>> results(8,
                                            std::vector<double>(4, 0.0));
@@ -61,11 +70,14 @@ int main() {
       BENCH_CHECK_OK(hist);
       results[static_cast<size_t>(row)][static_cast<size_t>(s)] =
           MeanUs(*hist);
+      report.AddLatency(std::string((*sut)->name()) + "." +
+                            kOpSlugs[static_cast<size_t>(row)],
+                        *hist);
     };
     record(0, BenchSeqRead(fs, "/micro", config));
     record(1, BenchSeqWrite(fs, "/micro", config));
-    record(2, BenchRandRead(fs, "/micro", config, 17));
-    record(3, BenchRandWrite(fs, "/micro", config, 18));
+    record(2, BenchRandRead(fs, "/micro", config, seed + 17));
+    record(3, BenchRandWrite(fs, "/micro", config, seed + 18));
     record(4, BenchOpen(fs, "/micro", config));
     record(5, BenchCreate(fs, "/micro", config));
     record(6, BenchDelete(fs, "/micro", config));
@@ -90,27 +102,25 @@ int main() {
   // spans enabled on a fresh SUT. Spans perturb measured latencies, so this
   // runs after (and separately from) the main table's measurements; its
   // breakdown comes solely from the obs registry.
-  {
-    obs::ResetAll();
-    const obs::Mode saved = obs::CurrentMode();
-    obs::SetMode(obs::Mode::kSpans);
+  SpanAttributionPass([&] {
     auto sut = SystemUnderTest::Create(SutKind::kPxfs, DefaultSutOptions());
     BENCH_CHECK_OK(sut);
     FsInterface* fs = (*sut)->fs();
     BENCH_CHECK_STATUS(fs->Mkdir("/micro"));
     BENCH_CHECK_OK(BenchSeqRead(fs, "/micro", config));
     BENCH_CHECK_OK(BenchSeqWrite(fs, "/micro", config));
-    BENCH_CHECK_OK(BenchRandRead(fs, "/micro", config, 17));
-    BENCH_CHECK_OK(BenchRandWrite(fs, "/micro", config, 18));
+    BENCH_CHECK_OK(BenchRandRead(fs, "/micro", config, seed + 17));
+    BENCH_CHECK_OK(BenchRandWrite(fs, "/micro", config, seed + 18));
     BENCH_CHECK_OK(BenchOpen(fs, "/micro", config));
     BENCH_CHECK_OK(BenchCreate(fs, "/micro", config));
     BENCH_CHECK_OK(BenchDelete(fs, "/micro", config));
     BENCH_CHECK_OK(BenchAppend(fs, "/micro", config));
-    obs::SetMode(saved);
+  });
+  report.CaptureAttribution();
 
-    std::printf("\n== PXFS per-layer breakdown (instrumented pass) ==\n%s",
-                obs::LayerBreakdownText().c_str());
-    std::printf("\nOBS_JSON %s\n", obs::DumpJson().c_str());
-  }
+  std::printf("\n== PXFS per-layer breakdown (instrumented pass) ==\n%s",
+              obs::LayerBreakdownText().c_str());
+  std::printf("\nOBS_JSON %s\n", obs::DumpJson().c_str());
+  FinishReport(report);
   return 0;
 }

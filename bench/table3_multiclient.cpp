@@ -9,6 +9,7 @@
 // session) driven by its own thread, operating in its own directory to
 // avoid lock contention between clients — exactly the paper's setup modulo
 // the process/thread substitution (DESIGN.md §4).
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <thread>
@@ -30,6 +31,7 @@ struct ClientTask {
 double RunClients(SystemUnderTest* sut, int nclients, bool mix_webproxy,
                   bool webproxy_on_flatfs, double scale, double seconds) {
   std::vector<ClientTask> tasks;
+  const uint64_t seed = Seed() + 50;
   for (int c = 0; c < nclients; ++c) {
     ClientTask task;
     const bool is_webproxy = mix_webproxy && (c % 2 == 1);
@@ -39,7 +41,7 @@ double RunClients(SystemUnderTest* sut, int nclients, bool mix_webproxy,
       task.flat_runner = std::make_unique<FlatWebproxyRunner>(
           *flat,
           FilebenchProfile::Paper(FilebenchKind::kWebproxy, scale),
-          "c" + std::to_string(c) + "_", 50 + static_cast<uint64_t>(c));
+          "c" + std::to_string(c) + "_", seed + static_cast<uint64_t>(c));
       BENCH_CHECK_STATUS(task.flat_runner->Prepare());
     } else {
       auto fs = sut->NewClientFs();
@@ -48,7 +50,7 @@ double RunClients(SystemUnderTest* sut, int nclients, bool mix_webproxy,
                                              : FilebenchKind::kFileserver;
       task.runner = std::make_unique<FilebenchRunner>(
           *fs, FilebenchProfile::Paper(kind, scale),
-          "/client" + std::to_string(c), 50 + static_cast<uint64_t>(c));
+          "/client" + std::to_string(c), seed + static_cast<uint64_t>(c));
       BENCH_CHECK_STATUS(task.runner->Prepare());
     }
     tasks.push_back(std::move(task));
@@ -97,6 +99,8 @@ int main() {
   std::printf("# paper (ops/s): FS alone 59k@1 -> 214k@6; FS+WP 273k@2 -> "
               "599k@6; FS+WP(FlatFS) 349k@2 -> 922k@6\n\n");
 
+  obs::BenchReport report = MakeReport("table3_multiclient");
+
   const int client_counts[] = {1, 2, 4, 6};
   std::printf("%-22s |", "Benchmark");
   for (int n : client_counts) {
@@ -110,9 +114,11 @@ int main() {
   for (int n : client_counts) {
     auto sut = SystemUnderTest::Create(SutKind::kPxfs, DefaultSutOptions());
     BENCH_CHECK_OK(sut);
-    std::printf(" %9.0f",
-                RunClients(sut->get(), n, false, false, scale, seconds));
+    const double tput =
+        RunClients(sut->get(), n, false, false, scale, seconds);
+    std::printf(" %9.0f", tput);
     std::fflush(stdout);
+    report.AddThroughput("fileserver.c" + std::to_string(n), tput);
   }
   std::printf("\n");
 
@@ -126,9 +132,11 @@ int main() {
     }
     auto sut = SystemUnderTest::Create(SutKind::kPxfs, DefaultSutOptions());
     BENCH_CHECK_OK(sut);
-    std::printf(" %9.0f",
-                RunClients(sut->get(), n, true, false, scale, seconds));
+    const double tput =
+        RunClients(sut->get(), n, true, false, scale, seconds);
+    std::printf(" %9.0f", tput);
     std::fflush(stdout);
+    report.AddThroughput("fs_webproxy.c" + std::to_string(n), tput);
   }
   std::printf("\n");
 
@@ -143,16 +151,28 @@ int main() {
     auto sut =
         SystemUnderTest::Create(SutKind::kFlatFs, DefaultSutOptions());
     BENCH_CHECK_OK(sut);
-    std::printf(" %9.0f",
-                RunClients(sut->get(), n, true, true, scale, seconds));
+    const double tput =
+        RunClients(sut->get(), n, true, true, scale, seconds);
+    std::printf(" %9.0f", tput);
     std::fflush(stdout);
+    report.AddThroughput("fs_webproxy_flatfs.c" + std::to_string(n), tput);
   }
   std::printf("\n");
   // AERIE_OBS=spans AERIE_TRACE_FILE=trace.json turns the last configuration
   // into a loadable Perfetto timeline (client tracks + clerk/TFS activity).
+  // Written before the attribution pass below, which resets the recorder.
   const std::string trace_path = obs::WriteTraceFileIfConfigured();
   if (!trace_path.empty()) {
     std::printf("TRACE_FILE %s\n", trace_path.c_str());
   }
+
+  // Attribution pass: a short span-mode two-client Fileserver run.
+  SpanAttributionPass([&] {
+    auto sut = SystemUnderTest::Create(SutKind::kPxfs, DefaultSutOptions());
+    BENCH_CHECK_OK(sut);
+    RunClients(sut->get(), 2, false, false, scale, std::min(seconds, 0.5));
+  });
+  report.CaptureAttribution();
+  FinishReport(report);
   return 0;
 }

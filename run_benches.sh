@@ -1,25 +1,5 @@
-#!/bin/bash
-# Full benchmark sweep: one output section per paper table/figure.
-# Scales are sized for a single-core host; AERIE_BENCH_SCALE=1.0 with longer
-# windows reproduces the paper's configurations on bigger machines.
-cd "$(dirname "$0")/build"
-set -x
-AERIE_BENCH_SCALE=0.1 ./bench/fig1_vfs_breakdown
-AERIE_BENCH_SCALE=0.25 ./bench/table1_microbench
-AERIE_BENCH_SCALE=0.2 AERIE_BENCH_SECONDS=3 ./bench/table2_filebench
-AERIE_BENCH_SCALE=0.05 AERIE_BENCH_SECONDS=1.5 AERIE_BENCH_THREADS=4 ./bench/fig5_thread_scaling
-AERIE_BENCH_SCALE=0.15 AERIE_BENCH_SECONDS=2 ./bench/table3_multiclient
-AERIE_BENCH_SCALE=0.05 AERIE_BENCH_SECONDS=2 ./bench/fig6_write_latency
-./bench/micro_permission_change
-AERIE_BENCH_SCALE=0.1 AERIE_BENCH_SECONDS=2 ./bench/ablation_batching
-AERIE_BENCH_SCALE=0.2 AERIE_BENCH_SECONDS=2 ./bench/ablation_name_cache
-AERIE_BENCH_SCALE=0.1 AERIE_BENCH_SECONDS=2 ./bench/ablation_lock_modes
-AERIE_BENCH_SCALE=0.05 AERIE_BENCH_SECONDS=1 ./bench/ablation_rpc_cost
-./bench/gbench_primitives --benchmark_min_time=0.2
-# Per-operation trace pass (separate short runs: span mode perturbs the
-# throughput numbers above). Open the JSON in ui.perfetto.dev.
-AERIE_OBS=spans AERIE_TRACE_FILE=trace_fig1.json \
-  AERIE_BENCH_SCALE=0.02 ./bench/fig1_vfs_breakdown > /dev/null
-AERIE_OBS=spans AERIE_TRACE_FILE=trace_table3.json \
-  AERIE_BENCH_SCALE=0.05 AERIE_BENCH_SECONDS=0.5 ./bench/table3_multiclient > /dev/null
-ls -l trace_fig1.json trace_table3.json
+#!/usr/bin/env bash
+# Thin wrapper kept for muscle memory; the sweep lives in tools/run_benches.sh
+# (which also aggregates per-bench JSON records into BENCH_<date>.json).
+set -euo pipefail
+exec "$(dirname "$0")/tools/run_benches.sh" "$@"

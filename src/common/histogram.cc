@@ -22,7 +22,10 @@ int Histogram::BucketFor(uint64_t value) {
   const int major = log - kMinorBits + 1;
   const int minor =
       static_cast<int>((value >> (log - kMinorBits)) & (kMinor - 1));
-  return major * kMinor + minor;
+  // The top major bucket (log == 63) lands well inside the array, but clamp
+  // anyway so a future re-parameterization of kMinorBits/kBuckets cannot
+  // silently index out of bounds.
+  return std::min(major * kMinor + minor, kBuckets - 1);
 }
 
 uint64_t Histogram::BucketMidpoint(int bucket) {
@@ -63,15 +66,25 @@ double Histogram::Mean() const {
 
 uint64_t Histogram::Percentile(double p) const {
   if (count_ == 0) {
-    return 0;
+    return 0;  // empty histogram: every percentile is 0, like min()/max()
   }
   p = std::clamp(p, 0.0, 100.0);
+  if (p == 0.0) {
+    return min();
+  }
+  if (p == 100.0) {
+    return max_;
+  }
   const auto target = static_cast<uint64_t>(
       p / 100.0 * static_cast<double>(count_ - 1) + 0.5);
   uint64_t seen = 0;
   for (int i = 0; i < kBuckets; ++i) {
     seen += buckets_[static_cast<size_t>(i)];
     if (seen > target) {
+      // Clamping to [min, max] makes the single-sample / single-bucket case
+      // exact (the bucket midpoint can sit above the only recorded value)
+      // and keeps the top bucket's wide midpoint from exceeding the true
+      // maximum.
       return std::clamp(BucketMidpoint(i), min(), max());
     }
   }

@@ -357,7 +357,9 @@ std::string DumpText() {
 
 std::string DumpJson() {
   const auto snaps = Registry::Instance().Collect();
-  std::string out = "{\"mode\":\"";
+  // schema_version pins the dump layout for downstream parsers (the bench
+  // harness and EXPERIMENTS tooling); bump it when sections change shape.
+  std::string out = "{\"schema_version\":1,\"mode\":\"";
   out += ModeName(CurrentMode());
   out += "\"";
   char buf[192];

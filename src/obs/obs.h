@@ -384,9 +384,10 @@ class ScopedRegistration {
 
 // Human-readable dump of every metric, sorted by name.
 std::string DumpText();
-// One JSON object: {"mode":..., "counters":{...}, "gauges":{...},
-// "histograms":{name: summary...}, "spans":{...}, "layers":{...}} where
-// "layers" aggregates span self-time by the `layer` name prefix.
+// One JSON object: {"schema_version":1, "mode":..., "counters":{...},
+// "gauges":{...}, "histograms":{name: summary...}, "spans":{...},
+// "layers":{...}} where "layers" aggregates span self-time by the `layer`
+// name prefix. schema_version is bumped whenever a section changes shape.
 std::string DumpJson();
 // Per-layer table (layer, spans, self ms, mean self us) from span data.
 std::string LayerBreakdownText();

@@ -174,6 +174,64 @@ TEST(HistogramTest, MergeIntoEmptyAndWithEmpty) {
   EXPECT_EQ(target.max(), 700u);
 }
 
+TEST(HistogramTest, EmptyPercentilesAndJsonAreZero) {
+  Histogram h;
+  for (double p : {0.0, 50.0, 95.0, 99.0, 100.0}) {
+    EXPECT_EQ(h.Percentile(p), 0u) << "p=" << p;
+  }
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  // The JSON summary of an empty histogram must be all-zero (the bench
+  // schema requires numeric fields, never sentinel garbage from min_'s
+  // ~0ULL initializer).
+  EXPECT_EQ(h.ToJson(),
+            "{\"count\":0,\"min\":0,\"mean\":0.0,\"p50\":0,"
+            "\"p95\":0,\"p99\":0,\"max\":0}");
+}
+
+TEST(HistogramTest, SingleSamplePercentilesAreExact) {
+  // One sample (one occupied bucket): every percentile is that value, not
+  // the bucket midpoint (which sits above the value for wide buckets).
+  for (uint64_t v : {0ull, 1ull, 4095ull, 1'000'000'007ull}) {
+    Histogram h;
+    h.Record(v);
+    for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+      EXPECT_EQ(h.Percentile(p), v) << "v=" << v << " p=" << p;
+    }
+  }
+}
+
+TEST(HistogramTest, SingleBucketManySamples) {
+  // Identical samples: percentile must stay pinned to the common value.
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) {
+    h.Record(77777);
+  }
+  EXPECT_EQ(h.Percentile(0), 77777u);
+  EXPECT_EQ(h.Percentile(50), 77777u);
+  EXPECT_EQ(h.Percentile(99.9), 77777u);
+  EXPECT_EQ(h.Percentile(100), 77777u);
+}
+
+TEST(HistogramTest, TopBucketValuesClampToMax) {
+  // Values in the highest major buckets (up to UINT64_MAX) must neither
+  // index out of range nor report a percentile above the recorded maximum
+  // (the top bucket's midpoint arithmetic runs close to the u64 edge).
+  Histogram h;
+  h.Record(~0ULL);
+  h.Record(~0ULL - 1);
+  h.Record(1ULL << 63);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.max(), ~0ULL);
+  for (double p : {50.0, 99.0, 100.0}) {
+    EXPECT_GE(h.Percentile(p), h.min());
+    EXPECT_LE(h.Percentile(p), h.max());
+  }
+  // Out-of-range p is clamped, not UB.
+  EXPECT_EQ(h.Percentile(-5.0), h.min());
+  EXPECT_EQ(h.Percentile(250.0), h.max());
+}
+
 TEST(HistogramTest, PercentileMonotonicAcrossBucketBoundaries) {
   // Samples straddling power-of-two bucket boundaries (the log-bucket major
   // edges) must still yield a monotone percentile curve clamped to

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/obs/bench_report.h"
 
 namespace aerie {
 namespace obs {
@@ -315,6 +316,8 @@ TEST_F(ObsTest, DumpJsonContainsMetricsAndLayers) {
     SpinDelayNanos(1'000);
   }
   const std::string json = DumpJson();
+  // Downstream parsers key on an explicit schema version, leading the dump.
+  EXPECT_EQ(json.rfind("{\"schema_version\":1,", 0), 0u);
   EXPECT_NE(json.find("\"test.json.counter\":3"), std::string::npos);
   EXPECT_NE(json.find("\"testlayer.op\""), std::string::npos);
   EXPECT_NE(json.find("\"layers\""), std::string::npos);
@@ -325,6 +328,43 @@ TEST_F(ObsTest, DumpJsonContainsMetricsAndLayers) {
 
   const std::string table = LayerBreakdownText();
   EXPECT_NE(table.find("testlayer"), std::string::npos);
+}
+
+TEST_F(ObsTest, BenchReportJsonShape) {
+  SetMode(Mode::kSpans);
+  {
+    AERIE_SPAN("benchlayer", "hot_op");
+    SpinDelayNanos(5'000);
+  }
+  BenchReport report("unit_test_bench");
+  report.SetConfig("scale", 0.5);
+  report.SetConfig("mode", std::string("quick"));
+  Histogram h;
+  h.Record(1000);
+  h.Record(3000);
+  report.AddLatency("pxfs.op", h);
+  report.AddThroughput("pxfs.iters", 1234.5);
+  report.AddValue("vfs.stat.avg_us", 3.25, "us");
+  report.CaptureAttribution();
+
+  const std::string json = report.ToJson();
+  EXPECT_EQ(json.rfind("{\"schema_version\":1,", 0), 0u);
+  EXPECT_NE(json.find("\"bench\":\"unit_test_bench\""), std::string::npos);
+  EXPECT_NE(json.find("\"git_sha\":"), std::string::npos);
+  EXPECT_NE(json.find("\"scale\":0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"mode\":\"quick\""), std::string::npos);
+  // Latency metrics derive ops_per_sec from the mean (2us -> 500k/s).
+  EXPECT_NE(json.find("\"name\":\"pxfs.op\",\"ops_per_sec\":500000"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"latency_ns\":{\"count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"pxfs.iters\",\"ops_per_sec\":1234.5"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"value\":3.25,\"unit\":\"us\""), std::string::npos);
+  // The span recorded above must surface both as a layer row and a ranked
+  // hot-span row.
+  EXPECT_NE(json.find("\"layer\":\"benchlayer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"benchlayer.hot_op\",\"count\":1"),
+            std::string::npos);
 }
 
 TEST_F(ObsTest, RpcMethodStatsUseRegisteredNames) {

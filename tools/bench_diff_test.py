@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_diff.py (and the schema validator's core).
+
+Builds synthetic aggregates, perturbs them, and asserts the gate fires on a
+real regression (20% throughput drop, 2x p99) but not on within-noise
+wobble (2%). Run directly or via ctest (bench_diff_test).
+"""
+
+import copy
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_diff
+import validate_bench
+
+
+def make_aggregate():
+    hist = {"count": 1000, "min": 800, "mean": 1500.0, "p50": 1400,
+            "p95": 2600, "p99": 4000, "max": 9000}
+    return {
+        "schema_version": 1,
+        "generated_utc": "2026-08-08T00:00:00Z",
+        "git_sha": "abc123",
+        "quick": False,
+        "seed": 42,
+        "host": {"os": "Linux", "machine": "x86_64", "cpus": 4},
+        "benches": {
+            "table2_filebench": {
+                "schema_version": 1,
+                "bench": "table2_filebench",
+                "git_sha": "abc123",
+                "config": {"scale": 0.05, "seconds": 0.5},
+                "metrics": [
+                    {"name": "fileserver.pxfs", "ops_per_sec": 50000.0,
+                     "latency_ns": copy.deepcopy(hist)},
+                    {"name": "webproxy.pxfs", "ops_per_sec": 80000.0,
+                     "latency_ns": copy.deepcopy(hist)},
+                    {"name": "vfs.share", "value": 40.0, "unit": "percent"},
+                    {"name": "BM_PersistU64", "value": 55.0, "unit": "ns/op"},
+                ],
+                "layers": [{"layer": "tfs", "spans": 100,
+                            "self_ns": 5000000, "total_ns": 9000000}],
+                "hot_spans": [{"name": "tfs.write", "count": 100,
+                               "self_ns": 5000000, "mean_self_us": 50.0}],
+            }
+        },
+    }
+
+
+def write_tmp(data, directory):
+    fd, path = tempfile.mkstemp(suffix=".json", dir=directory)
+    with os.fdopen(fd, "w") as f:
+        json.dump(data, f)
+    return path
+
+
+class BenchDiffTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.base = make_aggregate()
+        self.base_path = write_tmp(self.base, self.tmp.name)
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def run_diff(self, new_aggregate, extra_args=()):
+        new_path = write_tmp(new_aggregate, self.tmp.name)
+        return bench_diff.main([self.base_path, new_path] + list(extra_args))
+
+    def metrics(self, aggregate):
+        return aggregate["benches"]["table2_filebench"]["metrics"]
+
+    def test_unchanged_rerun_passes(self):
+        self.assertEqual(self.run_diff(copy.deepcopy(self.base)), 0)
+
+    def test_20pct_throughput_regression_fires(self):
+        new = copy.deepcopy(self.base)
+        self.metrics(new)[0]["ops_per_sec"] *= 0.80
+        self.assertEqual(self.run_diff(new), 1)
+
+    def test_2pct_wobble_passes(self):
+        new = copy.deepcopy(self.base)
+        for row in self.metrics(new):
+            if "ops_per_sec" in row:
+                row["ops_per_sec"] *= 0.98
+            if "latency_ns" in row:
+                row["latency_ns"]["p50"] *= 1.02
+        self.assertEqual(self.run_diff(new), 0)
+
+    def test_p50_doubling_fires(self):
+        new = copy.deepcopy(self.base)
+        self.metrics(new)[1]["latency_ns"]["p50"] *= 2.0
+        self.assertEqual(self.run_diff(new), 1)
+
+    def test_p99_tail_never_gates(self):
+        # Tails of a single run are scheduler noise; they inform, not gate.
+        new = copy.deepcopy(self.base)
+        self.metrics(new)[1]["latency_ns"]["p99"] *= 8.0
+        self.assertEqual(self.run_diff(new), 0)
+
+    def test_quick_sweeps_widen_bands(self):
+        # A 20% drop is within quick-mode noise; a 70% drop is a cliff.
+        for factor, expected in ((0.80, 0), (0.30, 1)):
+            new = copy.deepcopy(self.base)
+            new["quick"] = True
+            self.metrics(new)[0]["ops_per_sec"] *= factor
+            self.assertEqual(self.run_diff(new), expected,
+                             "factor %.2f" % factor)
+
+    def test_ns_per_op_regression_fires(self):
+        new = copy.deepcopy(self.base)
+        self.metrics(new)[3]["value"] = 110.0  # 2x a 55ns/op primitive
+        self.assertEqual(self.run_diff(new), 1)
+
+    def test_percent_unit_never_gates(self):
+        new = copy.deepcopy(self.base)
+        self.metrics(new)[2]["value"] = 95.0  # workload shape, not speed
+        self.assertEqual(self.run_diff(new), 0)
+
+    def test_band_is_tunable(self):
+        new = copy.deepcopy(self.base)
+        self.metrics(new)[0]["ops_per_sec"] *= 0.80
+        self.assertEqual(self.run_diff(new, ["--tput-band", "0.30"]), 0)
+
+    def test_added_and_removed_metrics_do_not_gate(self):
+        new = copy.deepcopy(self.base)
+        self.metrics(new)[0]["name"] = "fileserver.renamed"
+        self.assertEqual(self.run_diff(new), 0)
+
+    def test_improvement_passes(self):
+        new = copy.deepcopy(self.base)
+        self.metrics(new)[0]["ops_per_sec"] *= 1.5
+        self.metrics(new)[1]["latency_ns"]["p99"] *= 0.5
+        self.assertEqual(self.run_diff(new), 0)
+
+
+class ValidateBenchTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def test_synthetic_aggregate_conforms(self):
+        path = write_tmp(make_aggregate(), self.tmp.name)
+        self.assertEqual(validate_bench.main([path]), 0)
+
+    def test_missing_layers_rejected(self):
+        bad = make_aggregate()
+        bad["benches"]["table2_filebench"]["layers"] = []
+        path = write_tmp(bad, self.tmp.name)
+        self.assertEqual(validate_bench.main([path]), 1)
+
+    def test_unknown_key_rejected(self):
+        bad = make_aggregate()
+        bad["benches"]["table2_filebench"]["metrics"][0]["bogus"] = 1
+        path = write_tmp(bad, self.tmp.name)
+        self.assertEqual(validate_bench.main([path]), 1)
+
+    def test_record_mode(self):
+        record = make_aggregate()["benches"]["table2_filebench"]
+        path = write_tmp(record, self.tmp.name)
+        self.assertEqual(validate_bench.main(["--record", path]), 0)
+        self.assertEqual(validate_bench.main([path]), 1)  # not an aggregate
+
+
+if __name__ == "__main__":
+    unittest.main()

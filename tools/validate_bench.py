@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Validate a bench JSON file against tools/bench_schema.json.
+
+Validates either an aggregate BENCH_<date>.json (default) or a single
+per-binary record emitted via AERIE_BENCH_JSON (--record).
+
+The validator is a small, dependency-free subset of JSON Schema — just what
+bench_schema.json uses: type (string or list), required, properties,
+additionalProperties (bool or schema), items, minItems, minProperties,
+minimum, enum, and $ref into #/$defs. The stdlib-only constraint is
+deliberate: CI and ctest run this without any installed packages.
+
+Exit code 0 when the file conforms, 1 with per-path errors otherwise.
+
+Usage:
+  tools/validate_bench.py BENCH_20260808.json
+  tools/validate_bench.py --record build/bench_reports/table1_microbench.json
+"""
+
+import argparse
+import json
+import sys
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+class Validator:
+    def __init__(self, root_schema):
+        self.root = root_schema
+        self.errors = []
+
+    def fail(self, path, message):
+        self.errors.append("%s: %s" % (path or "$", message))
+
+    def resolve(self, schema):
+        while isinstance(schema, dict) and "$ref" in schema:
+            ref = schema["$ref"]
+            if not ref.startswith("#/"):
+                raise ValueError("unsupported $ref: %s" % ref)
+            node = self.root
+            for part in ref[2:].split("/"):
+                node = node[part]
+            schema = node
+        return schema
+
+    def check(self, value, schema, path):
+        schema = self.resolve(schema)
+        if schema is True:
+            return
+        if schema is False:
+            self.fail(path, "no value allowed here")
+            return
+
+        if "enum" in schema:
+            if value not in schema["enum"]:
+                self.fail(path, "value %r not in enum %r" %
+                          (value, schema["enum"]))
+                return
+
+        if "type" in schema:
+            types = schema["type"]
+            if isinstance(types, str):
+                types = [types]
+            if not any(TYPE_CHECKS[t](value) for t in types):
+                self.fail(path, "expected type %s, got %s" %
+                          ("/".join(types), type(value).__name__))
+                return
+
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            if "minimum" in schema and value < schema["minimum"]:
+                self.fail(path, "value %r below minimum %r" %
+                          (value, schema["minimum"]))
+
+        if isinstance(value, dict):
+            self.check_object(value, schema, path)
+        elif isinstance(value, list):
+            self.check_array(value, schema, path)
+
+    def check_object(self, value, schema, path):
+        for key in schema.get("required", []):
+            if key not in value:
+                self.fail(path, "missing required key %r" % key)
+        if "minProperties" in schema and len(value) < schema["minProperties"]:
+            self.fail(path, "expected at least %d properties, got %d" %
+                      (schema["minProperties"], len(value)))
+        props = schema.get("properties", {})
+        additional = schema.get("additionalProperties", True)
+        for key, item in value.items():
+            child = "%s.%s" % (path, key) if path else key
+            if key in props:
+                self.check(item, props[key], child)
+            elif additional is False:
+                self.fail(path, "unexpected key %r" % key)
+            elif additional is not True:
+                self.check(item, additional, child)
+
+    def check_array(self, value, schema, path):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            self.fail(path, "expected at least %d items, got %d" %
+                      (schema["minItems"], len(value)))
+        if "items" in schema:
+            for i, item in enumerate(value):
+                self.check(item, schema["items"], "%s[%d]" % (path, i))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Validate BENCH_*.json / bench records against the "
+                    "checked-in schema")
+    parser.add_argument("file", help="JSON file to validate")
+    parser.add_argument("--schema", default=None,
+                        help="schema path (default: bench_schema.json next "
+                             "to this script)")
+    parser.add_argument("--record", action="store_true",
+                        help="validate a single per-binary record "
+                             "(#/$defs/record) instead of an aggregate")
+    args = parser.parse_args(argv)
+
+    schema_path = args.schema
+    if schema_path is None:
+        import os
+        schema_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                   "bench_schema.json")
+    try:
+        with open(schema_path) as f:
+            schema = json.load(f)
+    except (OSError, ValueError) as e:
+        print("validate_bench: cannot load schema %s: %s" % (schema_path, e),
+              file=sys.stderr)
+        return 1
+    try:
+        with open(args.file) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        print("validate_bench: cannot load %s: %s" % (args.file, e),
+              file=sys.stderr)
+        return 1
+
+    validator = Validator(schema)
+    target = schema["$defs"]["record"] if args.record else schema
+    validator.check(data, target, "")
+    if validator.errors:
+        print("validate_bench: %s FAILED (%d error%s)" %
+              (args.file, len(validator.errors),
+               "" if len(validator.errors) == 1 else "s"), file=sys.stderr)
+        for err in validator.errors:
+            print("  " + err, file=sys.stderr)
+        return 1
+
+    if args.record:
+        print("validate_bench: OK %s (bench=%s, %d metrics, %d layers)" %
+              (args.file, data.get("bench"), len(data.get("metrics", [])),
+               len(data.get("layers", []))))
+    else:
+        print("validate_bench: OK %s (%d benches, git=%s)" %
+              (args.file, len(data.get("benches", {})), data.get("git_sha")))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
