@@ -59,6 +59,22 @@ void Histogram::Merge(const Histogram& other) {
   max_ = std::max(max_, other.max_);
 }
 
+void Histogram::MergeSerialized(const uint64_t* buckets, int n,
+                                uint64_t count, uint64_t sum, uint64_t min,
+                                uint64_t max) {
+  if (count == 0) {
+    return;
+  }
+  const int limit = std::min(n, kBuckets);
+  for (int i = 0; i < limit; ++i) {
+    buckets_[static_cast<size_t>(i)] += buckets[i];
+  }
+  count_ += count;
+  sum_ += sum;
+  min_ = std::min(min_, min);
+  max_ = std::max(max_, max);
+}
+
 double Histogram::Mean() const {
   return count_ == 0 ? 0.0
                      : static_cast<double>(sum_) / static_cast<double>(count_);

@@ -13,6 +13,13 @@ namespace aerie {
 
 class Histogram {
  public:
+  // 64 power-of-two major buckets x 16 linear minor buckets. Public because
+  // the telemetry plane serializes raw bucket counts into shared memory and
+  // re-merges them across processes (src/obs/telemetry.h).
+  static constexpr int kMinorBits = 4;
+  static constexpr int kMinor = 1 << kMinorBits;
+  static constexpr int kBuckets = 64 * kMinor;
+
   Histogram() { Clear(); }
 
   void Clear();
@@ -23,7 +30,21 @@ class Histogram {
   // Merges another histogram into this one (for per-thread aggregation).
   void Merge(const Histogram& other);
 
+  // Raw bucket count, i in [0, kBuckets). Pairs with MergeSerialized for
+  // shared-memory round trips.
+  uint64_t bucket_count(int i) const {
+    return buckets_[static_cast<size_t>(i)];
+  }
+
+  // Merges a histogram that went through bucket-level serialization: `n`
+  // raw bucket counts (buckets beyond n are treated as zero) plus the exact
+  // scalar stats. A count of zero is a no-op, so an empty serialized
+  // histogram cannot corrupt min().
+  void MergeSerialized(const uint64_t* buckets, int n, uint64_t count,
+                       uint64_t sum, uint64_t min, uint64_t max);
+
   uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
   uint64_t min() const { return count_ ? min_ : 0; }
   uint64_t max() const { return max_; }
   double Mean() const;
@@ -42,11 +63,6 @@ class Histogram {
   std::string ToJson() const;
 
  private:
-  // 64 power-of-two major buckets x 16 linear minor buckets.
-  static constexpr int kMinorBits = 4;
-  static constexpr int kMinor = 1 << kMinorBits;
-  static constexpr int kBuckets = 64 * kMinor;
-
   static int BucketFor(uint64_t value);
   static uint64_t BucketMidpoint(int bucket);
 

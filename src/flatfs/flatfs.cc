@@ -76,6 +76,7 @@ Result<std::pair<Oid, uint64_t>> FlatFs::Find(const Collection& coll,
 
 Status FlatFs::Put(std::string_view key, std::span<const char> data) {
   AERIE_SPAN("flatfs", "put");
+  AERIE_SCM_LAYER("flatfs");
   obs::TraceInstant("flatfs.put.bytes", data.size());
   if (key.empty() || key.size() > Collection::kMaxKeyLen) {
     return Status(ErrorCode::kInvalidArgument, "bad key");
@@ -103,6 +104,7 @@ Status FlatFs::Put(std::string_view key, std::span<const char> data) {
   op.a = data.size();
   Status st = fs_->LogOp(std::move(op));
   if (st.ok()) {
+    AERIE_COUNT_N("flatfs.api.logical_write_bytes", data.size());
     std::lock_guard guard(overlay_mu_);
     pending_[std::string(key)] = PendingEntry{file.raw(), data.size(), false};
   }

@@ -22,10 +22,41 @@ int InitModeFromEnv() {
   const int mode = static_cast<int>(
       env != nullptr ? ParseMode(env) : Mode::kCounters);
   g_mode.store(mode, std::memory_order_relaxed);
+  // First obs touch doubles as process attach: the telemetry plane (shm
+  // publisher, SIGUSR1 sigdump, AERIE_OBS_DUMP_FILE) starts here so every
+  // Aerie process exports without bench-specific wiring (telemetry.cc).
+  StartProcessTelemetryOnce();
   return mode;
 }
 
+namespace {
+// 0 = "not yet initialized from AERIE_OBS_WINDOW_SECS".
+std::atomic<uint64_t> g_window_epoch_ns{0};
+}  // namespace
+
+uint64_t WindowEpochNanos() {
+  uint64_t v = g_window_epoch_ns.load(std::memory_order_relaxed);
+  if (v != 0) [[likely]] {
+    return v;
+  }
+  const char* env = std::getenv("AERIE_OBS_WINDOW_SECS");
+  double secs = env != nullptr ? std::atof(env) : 0.0;
+  if (secs <= 0.0) {
+    secs = 10.0;
+  }
+  v = static_cast<uint64_t>(secs * 1e9) / kWindowEpochs;
+  if (v == 0) {
+    v = 1;
+  }
+  g_window_epoch_ns.store(v, std::memory_order_relaxed);
+  return v;
+}
+
 }  // namespace detail
+
+void SetWindowEpochNanosForTesting(uint64_t ns) {
+  detail::g_window_epoch_ns.store(ns, std::memory_order_relaxed);
+}
 
 Mode ParseMode(std::string_view text) {
   if (text == "off" || text == "0" || text == "none") {
@@ -56,10 +87,40 @@ Histogram LatencyHistogram::Snapshot() const {
   return out;
 }
 
+Histogram LatencyHistogram::WindowSnapshotAt(uint64_t now_ns) const {
+  Histogram out;
+  const uint64_t cur = now_ns / detail::WindowEpochNanos();
+  const uint64_t min_id = cur >= static_cast<uint64_t>(kWindowEpochs) - 1
+                              ? cur - (kWindowEpochs - 1)
+                              : 0;
+  for (const Shard& shard : shards_) {
+    shard.lock.lock();
+    if (shard.window != nullptr) {
+      for (int i = 0; i < kWindowEpochs; ++i) {
+        const WindowEpoch& epoch = shard.window[i];
+        // epoch_id > cur guards against samples stamped by a test clock
+        // that then moved backwards; they are simply not in this window.
+        if (epoch.epoch_id != kNoEpoch && epoch.epoch_id >= min_id &&
+            epoch.epoch_id <= cur) {
+          out.Merge(epoch.hist);
+        }
+      }
+    }
+    shard.lock.unlock();
+  }
+  return out;
+}
+
 void LatencyHistogram::Reset() {
   for (Shard& shard : shards_) {
     shard.lock.lock();
     shard.hist.Clear();
+    if (shard.window != nullptr) {
+      for (int i = 0; i < kWindowEpochs; ++i) {
+        shard.window[i].hist.Clear();
+        shard.window[i].epoch_id = kNoEpoch;
+      }
+    }
     shard.lock.unlock();
   }
 }
@@ -167,13 +228,16 @@ void MergeInto(std::map<std::string, MetricSnapshot>& out,
     case Metric::Kind::kGauge:
       snap.gauge += static_cast<const Gauge&>(metric).value();
       break;
-    case Metric::Kind::kHistogram:
-      snap.hist.Merge(
-          static_cast<const LatencyHistogram&>(metric).Snapshot());
+    case Metric::Kind::kHistogram: {
+      const auto& hist = static_cast<const LatencyHistogram&>(metric);
+      snap.hist.Merge(hist.Snapshot());
+      snap.window.Merge(hist.WindowSnapshot());
       break;
+    }
     case Metric::Kind::kSpan: {
       const auto& span = static_cast<const SpanStat&>(metric);
       snap.hist.Merge(span.SelfSnapshot());
+      snap.window.Merge(span.SelfWindowSnapshot());
       snap.span_total_ns += span.total_ns();
       snap.span_self_ns += span.self_ns();
       break;
@@ -258,6 +322,84 @@ RpcMethodStats& RpcMethodStatsFor(uint32_t method) {
   std::lock_guard lock(state.mu);
   auto [it, inserted] = state.rpc_stats.emplace(method, std::move(stats));
   return *it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Write-amplification accounting
+
+namespace {
+
+constexpr std::string_view kScmLayerPrefix = "scm.layer.";
+constexpr std::string_view kLogicalSuffix = ".api.logical_write_bytes";
+
+bool SplitScmLayerCounter(std::string_view name, std::string_view* layer,
+                          std::string_view* field) {
+  if (name.substr(0, kScmLayerPrefix.size()) != kScmLayerPrefix) {
+    return false;
+  }
+  const std::string_view rest = name.substr(kScmLayerPrefix.size());
+  const size_t dot = rest.rfind('.');
+  if (dot == std::string_view::npos || dot == 0) {
+    return false;
+  }
+  *layer = rest.substr(0, dot);
+  *field = rest.substr(dot + 1);
+  return true;
+}
+
+}  // namespace
+
+WriteAmpReport ComputeWriteAmp(
+    const std::vector<std::pair<std::string, uint64_t>>& counters) {
+  WriteAmpReport report;
+  std::map<std::string, WriteAmpRow, std::less<>> layers;
+  for (const auto& [name, value] : counters) {
+    std::string_view layer;
+    std::string_view field;
+    if (SplitScmLayerCounter(name, &layer, &field)) {
+      auto it = layers.find(layer);
+      if (it == layers.end()) {
+        it = layers.emplace(std::string(layer), WriteAmpRow{}).first;
+        it->second.layer = std::string(layer);
+      }
+      WriteAmpRow& row = it->second;
+      if (field == "lines_flushed") {
+        row.physical_bytes += value * kWriteAmpLineBytes;
+      } else if (field == "bytes_streamed") {
+        row.streamed_bytes += value;
+      } else if (field == "fences") {
+        row.fences += value;
+      }
+    } else if (name.size() > kLogicalSuffix.size() &&
+               std::string_view(name).substr(name.size() -
+                                             kLogicalSuffix.size()) ==
+                   kLogicalSuffix) {
+      report.logical_bytes += value;
+    }
+  }
+  for (auto& [name, row] : layers) {
+    report.physical_bytes += row.physical_bytes;
+    if (report.logical_bytes != 0) {
+      row.amplification = static_cast<double>(row.physical_bytes) /
+                          static_cast<double>(report.logical_bytes);
+    }
+    report.layers.push_back(std::move(row));
+  }
+  if (report.logical_bytes != 0) {
+    report.amplification = static_cast<double>(report.physical_bytes) /
+                           static_cast<double>(report.logical_bytes);
+  }
+  return report;
+}
+
+WriteAmpReport LocalWriteAmp() {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  for (const MetricSnapshot& snap : Registry::Instance().Collect()) {
+    if (snap.kind == Metric::Kind::kCounter) {
+      counters.emplace_back(snap.name, snap.counter);
+    }
+  }
+  return ComputeWriteAmp(counters);
 }
 
 // ---------------------------------------------------------------------------
@@ -426,7 +568,54 @@ std::string DumpJson() {
                   static_cast<unsigned long long>(row.total_ns));
     out += buf;
   }
-  out += "}}";
+  out += "}";
+
+  // Rolling-window tails for every histogram/span that saw samples inside
+  // the window (additive section; absent rows simply aged out).
+  out += ",\"windows\":{";
+  first = true;
+  for (const MetricSnapshot& snap : snaps) {
+    if ((snap.kind != Metric::Kind::kHistogram &&
+         snap.kind != Metric::Kind::kSpan) ||
+        snap.window.count() == 0) {
+      continue;
+    }
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"" + JsonEscape(snap.name) + "\":";
+    out += snap.window.ToJson();
+  }
+  out += "}";
+
+  // Per-layer SCM media traffic vs logical API bytes (DESIGN.md §9.3).
+  const WriteAmpReport amp = LocalWriteAmp();
+  std::snprintf(buf, sizeof(buf),
+                ",\"write_amp\":{\"logical_bytes\":%llu,"
+                "\"physical_bytes\":%llu,\"amplification\":%.3f,"
+                "\"layers\":{",
+                static_cast<unsigned long long>(amp.logical_bytes),
+                static_cast<unsigned long long>(amp.physical_bytes),
+                amp.amplification);
+  out += buf;
+  first = true;
+  for (const WriteAmpRow& row : amp.layers) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "\"%s\":{\"physical_bytes\":%llu,\"streamed_bytes\":%llu,"
+                  "\"fences\":%llu,\"amplification\":%.3f}",
+                  JsonEscape(row.layer).c_str(),
+                  static_cast<unsigned long long>(row.physical_bytes),
+                  static_cast<unsigned long long>(row.streamed_bytes),
+                  static_cast<unsigned long long>(row.fences),
+                  row.amplification);
+    out += buf;
+  }
+  out += "}}}";
   return out;
 }
 

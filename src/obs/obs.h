@@ -40,6 +40,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -61,6 +62,9 @@ namespace detail {
 // is no static-init-order hazard. First reader parses the environment.
 inline std::atomic<int> g_mode{-1};
 int InitModeFromEnv();  // parses AERIE_OBS, stores and returns the mode
+// Idempotent process-telemetry attach (shm publisher / sigdump / dump-file;
+// defined in telemetry.cc, invoked from InitModeFromEnv).
+void StartProcessTelemetryOnce();
 }  // namespace detail
 
 inline int ModeRaw() {
@@ -172,11 +176,34 @@ inline uint32_t ThreadShardId() {
   return id;
 }
 
+// Length of one rolling-window sub-epoch in nanoseconds: the window spans
+// kWindowEpochs of these (~AERIE_OBS_WINDOW_SECS seconds total, default 10).
+// Cached after the first read; SetWindowEpochNanosForTesting overrides.
+uint64_t WindowEpochNanos();
+
 }  // namespace detail
+
+// Number of sub-epochs in a rolling histogram window. A WindowSnapshot
+// merges the most recent kWindowEpochs epochs (including the in-progress
+// one), so tails reflect roughly the last AERIE_OBS_WINDOW_SECS seconds
+// rather than the process lifetime.
+inline constexpr int kWindowEpochs = 8;
+
+// Overrides the sub-epoch length (0 restores the environment default on the
+// next read). Tests drive rotation with a synthetic clock through this plus
+// RecordAtForTesting/WindowSnapshotAt.
+void SetWindowEpochNanosForTesting(uint64_t ns);
 
 // aerie::Histogram sharded across threads. Recording locks one shard
 // spinlock; threads map to shards by a dense thread id, so the lock is
 // uncontended unless thread count far exceeds kShards.
+//
+// Each shard additionally keeps a rotating window of kWindowEpochs
+// sub-epoch histograms (allocated lazily on the shard's first record, so
+// idle histograms cost nothing): a record lands in the epoch slot derived
+// from its timestamp, reusing — and first clearing — slots whose epoch has
+// expired. WindowSnapshot merges the epochs that are still inside the
+// window, which is what makes "p99 over the last ~10 s" cheap to answer.
 class LatencyHistogram final : public Metric {
  public:
   explicit LatencyHistogram(std::string name)
@@ -184,21 +211,51 @@ class LatencyHistogram final : public Metric {
 
   void Record(uint64_t value) {
     if (CountersOn()) {
-      RecordAlways(value);
+      RecordAlways(value, NowNanos());
     }
   }
 
-  // Merged view across shards.
+  // Merged lifetime view across shards.
   Histogram Snapshot() const;
+  // Merged view of the rolling window: samples from the most recent
+  // kWindowEpochs sub-epochs (including the in-progress one).
+  Histogram WindowSnapshot() const { return WindowSnapshotAt(NowNanos()); }
+  Histogram WindowSnapshotAt(uint64_t now_ns) const;
   void Reset() override;
+
+  // Test hook: record with an explicit timestamp (drives window rotation
+  // deterministically together with SetWindowEpochNanosForTesting).
+  void RecordAtForTesting(uint64_t value, uint64_t now_ns) {
+    RecordAlways(value, now_ns);
+  }
 
  private:
   friend class SpanStat;
 
-  void RecordAlways(uint64_t value) {
+  static constexpr uint64_t kNoEpoch = ~uint64_t{0};
+
+  struct WindowEpoch {
+    uint64_t epoch_id = kNoEpoch;
+    Histogram hist;
+  };
+
+  void RecordAlways(uint64_t value, uint64_t now_ns) {
     Shard& shard = shards_[detail::ThreadShardId() % kShards];
+    const uint64_t epoch_id = now_ns / detail::WindowEpochNanos();
     shard.lock.lock();
     shard.hist.Record(value);
+    if (shard.window == nullptr) {
+      shard.window = std::make_unique<WindowEpoch[]>(kWindowEpochs);
+    }
+    WindowEpoch& epoch =
+        shard.window[epoch_id % static_cast<uint64_t>(kWindowEpochs)];
+    if (epoch.epoch_id != epoch_id) {
+      // Rotation: this slot last held an epoch that has left the window
+      // (or was never used); retire its samples before reuse.
+      epoch.hist.Clear();
+      epoch.epoch_id = epoch_id;
+    }
+    epoch.hist.Record(value);
     shard.lock.unlock();
   }
 
@@ -206,6 +263,7 @@ class LatencyHistogram final : public Metric {
   struct alignas(64) Shard {
     mutable detail::SpinLock lock;
     Histogram hist;
+    std::unique_ptr<WindowEpoch[]> window;  // lazy; kWindowEpochs entries
   };
   mutable std::array<Shard, kShards> shards_;
 };
@@ -217,11 +275,13 @@ class SpanStat final : public Metric {
   explicit SpanStat(std::string name)
       : Metric(std::move(name), Kind::kSpan), self_hist_(std::string()) {}
 
-  void Record(uint64_t total_ns, uint64_t self_ns) {
+  // end_ns stamps the sample into the rolling window (callers that already
+  // read the clock — ScopedSpan — pass their end timestamp; 0 reads it).
+  void Record(uint64_t total_ns, uint64_t self_ns, uint64_t end_ns = 0) {
     count_.fetch_add(1, std::memory_order_relaxed);
     total_ns_.fetch_add(total_ns, std::memory_order_relaxed);
     self_ns_.fetch_add(self_ns, std::memory_order_relaxed);
-    self_hist_.RecordAlways(self_ns);
+    self_hist_.RecordAlways(self_ns, end_ns != 0 ? end_ns : NowNanos());
   }
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
@@ -232,6 +292,9 @@ class SpanStat final : public Metric {
   // Exclusive wall time (child spans subtracted).
   uint64_t self_ns() const { return self_ns_.load(std::memory_order_relaxed); }
   Histogram SelfSnapshot() const { return self_hist_.Snapshot(); }
+  // Rolling-window view of self time (same window semantics as
+  // LatencyHistogram::WindowSnapshot).
+  Histogram SelfWindowSnapshot() const { return self_hist_.WindowSnapshot(); }
 
   void Reset() override {
     count_.store(0, std::memory_order_relaxed);
@@ -300,7 +363,7 @@ class ScopedSpan {
     if (parent_ != nullptr) {
       parent_->child_ns_ += total;
     }
-    stat_->Record(total, total >= child_ns_ ? total - child_ns_ : 0);
+    stat_->Record(total, total >= child_ns_ ? total - child_ns_ : 0, end_ns);
     detail::TraceSpanEnd(stat_->name().c_str(), trace_, start_ns_, end_ns);
   }
 
@@ -322,6 +385,7 @@ struct MetricSnapshot {
   uint64_t counter = 0;    // kCounter
   int64_t gauge = 0;       // kGauge
   Histogram hist;          // kHistogram (values), kSpan (self time)
+  Histogram window;        // rolling-window view of `hist` (same kinds)
   uint64_t span_total_ns = 0;
   uint64_t span_self_ns = 0;
 };
@@ -394,6 +458,35 @@ std::string LayerBreakdownText();
 
 // Zeroes all metrics (alias for Registry::Instance().ResetAll()).
 void ResetAll();
+
+// --- SCM write-amplification accounting -----------------------------------
+// The SCM primitives attribute physical media traffic per layer
+// (src/scm/pmem.h: AERIE_SCM_LAYER scopes feed scm.layer.<layer>.*
+// counters) and the PXFS/FlatFS API boundary counts the logical bytes
+// applications asked to write (*.api.logical_write_bytes). ComputeWriteAmp
+// derives per-layer write amplification from any (name, counter value) set
+// — the local registry, or a cross-process telemetry merge in aerie_top.
+// Bytes per flushed cache line (mirrors aerie::kCacheLineSize without an
+// obs -> scm dependency).
+inline constexpr uint64_t kWriteAmpLineBytes = 64;
+
+struct WriteAmpRow {
+  std::string layer;
+  uint64_t physical_bytes = 0;  // 64 * scm.layer.<layer>.lines_flushed
+  uint64_t streamed_bytes = 0;  // scm.layer.<layer>.bytes_streamed
+  uint64_t fences = 0;          // scm.layer.<layer>.fences
+  double amplification = 0;     // physical_bytes / total logical bytes
+};
+struct WriteAmpReport {
+  uint64_t logical_bytes = 0;   // sum of *.api.logical_write_bytes
+  uint64_t physical_bytes = 0;  // sum of layer physical bytes
+  double amplification = 0;     // physical / logical (0 when logical == 0)
+  std::vector<WriteAmpRow> layers;  // sorted by layer name
+};
+WriteAmpReport ComputeWriteAmp(
+    const std::vector<std::pair<std::string, uint64_t>>& counters);
+// The same report computed from this process's registry.
+WriteAmpReport LocalWriteAmp();
 
 // --- RPC method instrumentation -------------------------------------------
 // Transports record per-method call counts and bytes without knowing which

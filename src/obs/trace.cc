@@ -230,10 +230,14 @@ void MaybeDumpSlowTrace(const char* name, uint64_t trace_id,
                static_cast<unsigned long long>(trace_id), trail.c_str());
 }
 
-// Post-mortem on AERIE_CHECK failure: recent events to stderr, full JSON to
-// $AERIE_TRACE_FILE if configured. Runs at most once (check.h consumes the
-// hook), right before abort.
-void CheckFailureDump() {
+// Post-mortem on AERIE_CHECK failure. Runs at most once (check.h consumes
+// the hook), right before abort. The SIGUSR1 sigdump (telemetry.cc) shares
+// the same DumpPostMortem body, minus the abort.
+void CheckFailureDump() { DumpPostMortem(); }
+
+}  // namespace
+
+void DumpPostMortem() {
   const std::string trail = FlightRecorderText(/*trace_id=*/0, /*limit=*/64);
   std::fputs("== aerie flight recorder (most recent events) ==\n", stderr);
   std::fputs(trail.empty() ? "(no events recorded)\n" : trail.c_str(),
@@ -243,8 +247,6 @@ void CheckFailureDump() {
     std::fprintf(stderr, "full trace written to %s\n", path.c_str());
   }
 }
-
-}  // namespace
 
 namespace detail {
 

@@ -117,6 +117,11 @@ std::string WriteTraceFileIfConfigured();
 // print this.
 std::string FlightRecorderText(uint64_t trace_id = 0, size_t limit = 256);
 
+// The failed-AERIE_CHECK dump, callable on demand: recent flight-recorder
+// events to stderr plus the full trace JSON to $AERIE_TRACE_FILE if set.
+// The SIGUSR1 sigdump (AERIE_OBS_SIGDUMP=1, telemetry.cc) reuses it.
+void DumpPostMortem();
+
 // Drops all recorded events; rings stay registered (bench epochs pair this
 // with Registry::ResetAll, see obs::ResetAll).
 void ResetFlightRecorder();

@@ -151,6 +151,7 @@ bool AppendEntryRaw(const OsdContext& ctx, BucketRep* bucket,
 }  // namespace
 
 Result<Collection> Collection::Create(const OsdContext& ctx, uint32_t acl) {
+  AERIE_SCM_LAYER("osd");
   if (!ctx.can_allocate()) {
     return Status(ErrorCode::kPermissionDenied,
                   "collection creation requires the allocator");
@@ -191,6 +192,7 @@ uint32_t Collection::acl() const {
 }
 
 void Collection::SetAcl(uint32_t new_acl) {
+  AERIE_SCM_LAYER("osd");
   ctx_.region->PersistU64(&HeaderAt(ctx_, oid_)->acl, new_acl);
 }
 
@@ -199,6 +201,7 @@ Oid Collection::parent_oid() const {
 }
 
 void Collection::SetParentOid(Oid parent) {
+  AERIE_SCM_LAYER("osd");
   ctx_.region->PersistU64(&HeaderAt(ctx_, oid_)->parent_oid, parent.raw());
 }
 
@@ -207,6 +210,7 @@ uint64_t Collection::link_count() const {
 }
 
 void Collection::SetLinkCount(uint64_t n) {
+  AERIE_SCM_LAYER("osd");
   ctx_.region->PersistU64(&HeaderAt(ctx_, oid_)->link_count, n);
 }
 
@@ -219,6 +223,7 @@ uint64_t Collection::nbuckets() const {
 }
 
 void Collection::BumpCounts(int64_t live_delta, int64_t tomb_delta) {
+  AERIE_SCM_LAYER("osd");
   HeaderRep* hdr = HeaderAt(ctx_, oid_);
   if (live_delta != 0) {
     ctx_.region->PersistU64(
@@ -276,6 +281,7 @@ Result<uint64_t> Collection::Lookup(std::string_view key) const {
 
 Status Collection::InsertIntoBucket(std::string_view key, uint64_t value,
                                     bool* reused_tombstone) {
+  AERIE_SCM_LAYER("osd");
   *reused_tombstone = false;
   HeaderRep* hdr = HeaderAt(ctx_, oid_);
   TableRep* table = TableAt(ctx_, hdr);
@@ -318,6 +324,7 @@ Status Collection::InsertIntoBucket(std::string_view key, uint64_t value,
 }
 
 Status Collection::Insert(std::string_view key, uint64_t value) {
+  AERIE_SCM_LAYER("osd");
   if (key.empty() || key.size() > kMaxKeyLen) {
     return Status(ErrorCode::kInvalidArgument, "bad key length");
   }
@@ -357,6 +364,7 @@ Status Collection::Insert(std::string_view key, uint64_t value) {
 }
 
 Status Collection::Erase(std::string_view key) {
+  AERIE_SCM_LAYER("osd");
   if (!ctx_.can_allocate()) {
     return Status(ErrorCode::kPermissionDenied,
                   "collection mutation requires the allocator");
@@ -391,6 +399,7 @@ Status Collection::Erase(std::string_view key) {
 
 Status Collection::InsertManyUnchecked(
     const std::vector<std::pair<std::string, uint64_t>>& items) {
+  AERIE_SCM_LAYER("osd");
   if (!ctx_.can_allocate()) {
     return Status(ErrorCode::kPermissionDenied,
                   "collection mutation requires the allocator");
@@ -494,6 +503,7 @@ Status Collection::Scan(
 }
 
 Status Collection::Rehash(uint64_t new_nbuckets) {
+  AERIE_SCM_LAYER("osd");
   if (!ctx_.can_allocate()) {
     return Status(ErrorCode::kPermissionDenied, "rehash requires allocator");
   }
@@ -576,6 +586,7 @@ std::vector<Oid> Collection::BucketExtents() const {
 }
 
 Status Collection::Destroy() {
+  AERIE_SCM_LAYER("osd");
   if (!ctx_.can_allocate()) {
     return Status(ErrorCode::kPermissionDenied, "destroy requires allocator");
   }

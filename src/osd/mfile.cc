@@ -63,6 +63,7 @@ Result<uint64_t> AllocZeroedBlock(const OsdContext& ctx) {
 }  // namespace
 
 Result<MFile> MFile::Create(const OsdContext& ctx, uint32_t acl) {
+  AERIE_SCM_LAYER("osd");
   if (!ctx.can_allocate()) {
     return Status(ErrorCode::kPermissionDenied,
                   "mFile creation requires the allocator");
@@ -82,6 +83,7 @@ Result<MFile> MFile::Create(const OsdContext& ctx, uint32_t acl) {
 
 Result<MFile> MFile::CreateSingleExtent(const OsdContext& ctx, uint32_t acl,
                                         uint64_t capacity_bytes) {
+  AERIE_SCM_LAYER("osd");
   if (!ctx.can_allocate()) {
     return Status(ErrorCode::kPermissionDenied,
                   "mFile creation requires the allocator");
@@ -129,6 +131,7 @@ uint32_t MFile::acl() const {
   return static_cast<uint32_t>(HeaderAt(ctx_, oid_)->acl);
 }
 void MFile::SetAcl(uint32_t new_acl) {
+  AERIE_SCM_LAYER("osd");
   ctx_.region->PersistU64(&HeaderAt(ctx_, oid_)->acl, new_acl);
 }
 
@@ -136,6 +139,7 @@ uint64_t MFile::link_count() const {
   return HeaderAt(ctx_, oid_)->link_count;
 }
 void MFile::SetLinkCount(uint64_t n) {
+  AERIE_SCM_LAYER("osd");
   ctx_.region->PersistU64(&HeaderAt(ctx_, oid_)->link_count, n);
 }
 
@@ -200,6 +204,7 @@ Result<uint64_t> MFile::Read(uint64_t offset, std::span<char> out) const {
 }
 
 Status MFile::WriteInPlace(uint64_t offset, std::span<const char> data) {
+  AERIE_SCM_LAYER("osd");
   const MHeaderRep* hdr = HeaderAt(ctx_, oid_);
   if (hdr->flags & kFlagSingleExtent) {
     if (offset + data.size() > hdr->capacity) {
@@ -233,6 +238,7 @@ Status MFile::WriteInPlace(uint64_t offset, std::span<const char> data) {
 }
 
 Status MFile::GrowHeightTo(uint32_t target) {
+  AERIE_SCM_LAYER("osd");
   MHeaderRep* hdr = HeaderAt(ctx_, oid_);
   uint64_t packed = hdr->root;
   while (RootOffset(packed) != 0 && RootHeight(packed) < target) {
@@ -252,6 +258,7 @@ Status MFile::GrowHeightTo(uint32_t target) {
 }
 
 Status MFile::AttachExtent(uint64_t page_index, uint64_t extent_offset) {
+  AERIE_SCM_LAYER("osd");
   if (!ctx_.can_allocate()) {
     return Status(ErrorCode::kPermissionDenied,
                   "structural mFile mutation requires the allocator");
@@ -305,6 +312,7 @@ Status MFile::AttachExtent(uint64_t page_index, uint64_t extent_offset) {
 }
 
 Status MFile::SetSize(uint64_t bytes) {
+  AERIE_SCM_LAYER("osd");
   MHeaderRep* hdr = HeaderAt(ctx_, oid_);
   if ((hdr->flags & kFlagSingleExtent) && bytes > hdr->capacity) {
     return Status(ErrorCode::kOutOfSpace, "beyond single-extent capacity");
@@ -355,6 +363,7 @@ bool FreeSubtree(const OsdContext& ctx, uint64_t block, uint32_t level,
 }  // namespace
 
 Status MFile::Truncate(uint64_t bytes) {
+  AERIE_SCM_LAYER("osd");
   if (!ctx_.can_allocate()) {
     return Status(ErrorCode::kPermissionDenied, "truncate requires allocator");
   }
@@ -379,6 +388,7 @@ Status MFile::Truncate(uint64_t bytes) {
 }
 
 Status MFile::Destroy() {
+  AERIE_SCM_LAYER("osd");
   if (!ctx_.can_allocate()) {
     return Status(ErrorCode::kPermissionDenied, "destroy requires allocator");
   }

@@ -440,6 +440,7 @@ Result<uint64_t> Pxfs::ReadAt(const FdEntry& entry, uint64_t offset,
 
 Result<uint64_t> Pxfs::WriteAt(FdEntry* entry, uint64_t offset,
                                std::span<const char> data) {
+  AERIE_SCM_LAYER("pxfs");
   if ((entry->flags & kOpenWrite) == 0) {
     return Status(ErrorCode::kPermissionDenied, "fd not open for write");
   }
@@ -463,6 +464,7 @@ Result<uint64_t> Pxfs::WriteAt(FdEntry* entry, uint64_t offset,
           shadow->size = offset + data.size();
           shadow->has_size = true;
         }
+        AERIE_COUNT_N("pxfs.api.logical_write_bytes", data.size());
         return data.size();
       }
       if (rights != 0 && (rights & kAclRightWrite) == 0) {
@@ -555,6 +557,7 @@ Result<uint64_t> Pxfs::WriteAt(FdEntry* entry, uint64_t offset,
   if (!attach_ops.empty()) {
     AERIE_RETURN_IF_ERROR(fs_->LogOps(std::move(attach_ops)));
   }
+  AERIE_COUNT_N("pxfs.api.logical_write_bytes", data.size());
   return data.size();
 }
 
@@ -661,6 +664,7 @@ Result<uint64_t> Pxfs::Seek(int fd, uint64_t offset) {
 
 Status Pxfs::Ftruncate(int fd, uint64_t size) {
   AERIE_SPAN("pxfs", "ftruncate");
+  AERIE_SCM_LAYER("pxfs");
   Oid oid;
   {
     std::lock_guard lock(fds_mu_);
@@ -733,6 +737,7 @@ Status Pxfs::Ftruncate(int fd, uint64_t size) {
 
 Status Pxfs::Fsync(int fd) {
   AERIE_SPAN("pxfs", "fsync");
+  AERIE_SCM_LAYER("pxfs");
   {
     std::lock_guard lock(fds_mu_);
     if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() ||
@@ -1182,6 +1187,7 @@ std::string Pxfs::cwd() const {
 
 Status Pxfs::SyncAll() {
   AERIE_SPAN("pxfs", "sync_all");
+  AERIE_SCM_LAYER("pxfs");
   ctx_.region->BFlush();
   return fs_->Sync();
 }

@@ -50,6 +50,7 @@ TrustedFsService::TrustedFsService(Volume* volume, LockService* locks,
 }
 
 Status TrustedFsService::Bootstrap() {
+  AERIE_SCM_LAYER("tfs");
   if (!volume_->root_oid().IsNull()) {
     return OkStatus();
   }
@@ -343,6 +344,7 @@ Status TrustedFsService::Validate(uint64_t client_id, MetaOp* op) {
 
 Status TrustedFsService::Apply(uint64_t client_id, const MetaOp& op,
                                bool replay) {
+  AERIE_SCM_LAYER("tfs");
   // Already-applied effects surface as kAlreadyExists / kNotFound during
   // replay; those are successes for an idempotent redo log.
   auto tolerate = [&](Status st, ErrorCode benign) {
@@ -529,6 +531,7 @@ Status TrustedFsService::Apply(uint64_t client_id, const MetaOp& op,
 
 Status TrustedFsService::ApplyBatch(uint64_t client_id,
                                     std::string_view batch_blob) {
+  AERIE_SCM_LAYER("tfs");
   AERIE_SPAN("tfs", "apply_batch");
   auto ops = DecodeBatch(batch_blob);
   if (!ops.ok()) {
@@ -609,6 +612,7 @@ Status TrustedFsService::ApplyBatch(uint64_t client_id,
 }
 
 Status TrustedFsService::Recover() {
+  AERIE_SCM_LAYER("tfs");
   AERIE_SPAN("tfs", "recover");
   RedoLog* log = volume_->log();
   AERIE_RETURN_IF_ERROR(log->Replay(
@@ -726,6 +730,7 @@ Result<std::vector<Oid>> TrustedFsService::PoolFill(uint64_t client_id,
                                                     ObjType type,
                                                     uint32_t count,
                                                     uint64_t capacity) {
+  AERIE_SCM_LAYER("tfs");
   AERIE_SPAN("tfs", "pool_fill");
   if (count == 0 || count > 65536) {
     return Status(ErrorCode::kInvalidArgument, "bad pool fill count");
@@ -965,6 +970,7 @@ Result<uint64_t> TrustedFsService::ServiceRead(uint64_t client_id, Oid file,
 Status TrustedFsService::ServiceWrite(uint64_t client_id, Oid file,
                                       uint64_t offset,
                                       std::span<const char> data) {
+  AERIE_SCM_LAYER("tfs");
   AERIE_SPAN("tfs", "service_write");
   (void)client_id;
   AERIE_ASSIGN_OR_RETURN(MFile f, MFile::Open(ctx_, file));

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""CI smoke test for the live telemetry plane.
+
+Launches a real multi-client bench (table3_multiclient) with the
+shared-memory publisher enabled in a private segment directory, attaches
+aerie_top --json MID-RUN (while the bench is still working), and validates
+the document against tools/telemetry_schema.json — requiring at least one
+live process, at least one per-layer span row, and a nonzero logical write
+byte count so the write-amplification pipeline is proven end to end.
+
+Stdlib only; wired as the `telemetry_smoke` ctest target.
+
+Usage:
+  tools/telemetry_smoke.py --bench build/bench/table3_multiclient \
+      --aerie-top build/tools/aerie_top
+"""
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", required=True,
+                        help="path to the table3_multiclient binary")
+    parser.add_argument("--aerie-top", required=True,
+                        help="path to the aerie_top binary")
+    parser.add_argument("--seconds", type=float, default=3.0,
+                        help="bench seconds per data point (default 3)")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="overall deadline in seconds (default 120)")
+    args = parser.parse_args()
+
+    tools_dir = os.path.dirname(os.path.abspath(__file__))
+    deadline = time.monotonic() + args.timeout
+
+    with tempfile.TemporaryDirectory(prefix="aerie_telemetry_smoke_") as shm:
+        env = dict(os.environ)
+        env.update({
+            "AERIE_OBS": "spans",
+            "AERIE_OBS_SHM_DIR": shm,
+            "AERIE_OBS_SHM_INTERVAL_MS": "50",
+            "AERIE_BENCH_SCALE": "0.02",
+            "AERIE_BENCH_SECONDS": "%g" % args.seconds,
+        })
+        bench = subprocess.Popen(
+            [args.bench], env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        try:
+            # Wait for the bench's segment to appear and accumulate a little
+            # work, then sample while it is still running.
+            pattern = os.path.join(shm, "aerie.obs.*")
+            while not glob.glob(pattern):
+                if bench.poll() is not None:
+                    print("FAIL: bench exited (rc=%s) before publishing a "
+                          "telemetry segment" % bench.returncode)
+                    return 1
+                if time.monotonic() > deadline:
+                    print("FAIL: no telemetry segment within the deadline")
+                    return 1
+                time.sleep(0.05)
+            time.sleep(1.0)
+
+            if bench.poll() is not None:
+                print("FAIL: bench exited before aerie_top could attach")
+                return 1
+            top = subprocess.run(
+                [args.aerie_top, "--json", "--dir", shm, "--interval",
+                 "500"],
+                capture_output=True, text=True,
+                timeout=max(5.0, deadline - time.monotonic()))
+            if top.returncode != 0:
+                print("FAIL: aerie_top exited %d\n%s" %
+                      (top.returncode, top.stderr))
+                return 1
+            attached_live = bench.poll() is None
+        finally:
+            bench.terminate()
+            try:
+                bench.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                bench.kill()
+                bench.wait()
+
+        doc_path = os.path.join(shm, "top.json")
+        with open(doc_path, "w") as f:
+            f.write(top.stdout)
+
+        # Sanity-parse before handing to the validator for nicer errors.
+        try:
+            doc = json.loads(top.stdout)
+        except json.JSONDecodeError as e:
+            print("FAIL: aerie_top --json emitted invalid JSON: %s\n%s"
+                  % (e, top.stdout[:2000]))
+            return 1
+
+        rc = subprocess.call([
+            sys.executable, os.path.join(tools_dir, "validate_telemetry.py"),
+            "--min-processes", "1", "--min-layers", "1",
+            "--require-logical-writes", doc_path])
+        if rc != 0:
+            return rc
+
+        if not attached_live:
+            print("FAIL: bench finished before the sample was taken — "
+                  "increase --seconds so aerie_top attaches mid-run")
+            return 1
+
+        print("OK: attached mid-run; %d process(es), %d layer row(s), "
+              "write amp %.2fx over %d logical bytes" % (
+                  len(doc["processes"]), len(doc["layers"]),
+                  doc["write_amp"]["amplification"],
+                  doc["write_amp"]["logical_bytes"]))
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
