@@ -25,6 +25,7 @@
 #include "src/common/histogram.h"
 #include "src/obs/bench_report.h"
 #include "src/obs/obs.h"
+#include "src/obs/profiler.h"
 #include "src/workload/filebench.h"
 #include "src/workload/sut.h"
 
@@ -106,11 +107,21 @@ inline void SpanAttributionPass(Fn&& fn) {
 }
 
 // Finishes a record: write to $AERIE_BENCH_JSON (if set) and surface the
-// path on stdout so driver logs show where each record landed.
+// path on stdout so driver logs show where each record landed. When the
+// sampling profiler is live (AERIE_PROF), also flush its folded-stack /
+// profile-JSON artifacts ($AERIE_PROF_FOLDED / $AERIE_PROF_JSON) and print
+// the top self-CPU frames so a bench run doubles as a profile run.
 inline void FinishReport(const obs::BenchReport& report) {
   const std::string path = report.WriteIfConfigured();
   if (!path.empty()) {
     std::printf("BENCH_JSON_FILE %s\n", path.c_str());
+  }
+  if (obs::prof::IsRunning()) {
+    obs::prof::WriteProfileFilesIfConfigured();
+    const std::string top = obs::prof::TopText(10);
+    if (!top.empty()) {
+      std::fputs(top.c_str(), stdout);
+    }
   }
 }
 

@@ -167,7 +167,15 @@ Status LibFs::ShipBatchLocked(std::unique_lock<std::mutex>* lock) {
   Status result = OkStatus();
   {
     AERIE_SPAN("libfs", "ship_batch");
-    std::lock_guard ship(ship_mu_);
+    // Batch-ship stall: contended ship_mu_ means this shipper is blocked
+    // behind another batch's in-flight ApplyBatch — off-CPU time the
+    // profiler charges to libfs.ship_batch as lock wait. Uncontended
+    // acquisition stays on the try_lock fast path and records nothing.
+    std::unique_lock<std::mutex> ship(ship_mu_, std::try_to_lock);
+    if (!ship.owns_lock()) {
+      obs::ScopedWait stalled(obs::WaitKind::kLock);
+      ship.lock();
+    }
     std::vector<MetaOp> ops;
     {
       std::lock_guard relock(batch_mu_);

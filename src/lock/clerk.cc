@@ -9,6 +9,22 @@
 
 namespace aerie {
 
+namespace {
+
+// Time a revocation sat in the clerk's queue before the worker picked it up
+// (profiler plane: queue dwell is invisible to spans because no span is
+// live on the enqueueing service thread).
+void RecordRevokeQueueDwell(uint64_t enqueue_ns) {
+  if (enqueue_ns == 0 || !obs::CountersOn()) {
+    return;
+  }
+  static obs::LatencyHistogram& dwell =
+      obs::Registry::Instance().GetHistogram("clerk.revoke.queue_us");
+  dwell.Record((NowNanos() - enqueue_ns) / 1000);
+}
+
+}  // namespace
+
 LockClerk::LockClerk(LockServiceClient* service)
     : LockClerk(service, Options{}) {}
 
@@ -173,7 +189,10 @@ Status LockClerk::Acquire(LockId id, LockMode mode,
       result = Status(ErrorCode::kLockConflict, "local lock wait timed out");
       break;
     }
-    e.cv.wait_for(lk, std::chrono::microseconds(200));
+    {
+      obs::ScopedWait blocked(obs::WaitKind::kLock);
+      e.cv.wait_for(lk, std::chrono::microseconds(200));
+    }
   }
 
   e.waiting--;
@@ -210,6 +229,7 @@ Status LockClerk::DrainAndReleaseGlobal(LockId id, bool downgrade_to_intent) {
     return OkStatus();
   }
   while (e.draining) {
+    obs::ScopedWait blocked(obs::WaitKind::kOther);
     e.cv.wait_for(lk, std::chrono::microseconds(100));
     if (entries_.find(id) == entries_.end()) {
       return OkStatus();
@@ -229,6 +249,7 @@ Status LockClerk::DrainAndReleaseGlobal(LockId id, bool downgrade_to_intent) {
   const uint64_t drain_deadline =
       NowNanos() + options_.local_wait_timeout_ms * 1'000'000;
   while ((e.readers > 0 || e.writer) && NowNanos() < drain_deadline) {
+    obs::ScopedWait blocked(obs::WaitKind::kOther);
     e.cv.wait_for(lk, std::chrono::microseconds(100));
   }
   if (e.readers > 0 || e.writer) {
@@ -388,12 +409,12 @@ void LockClerk::ReleaseIdleGlobals(uint64_t idle_ns) {
 void LockClerk::OnRevoke(LockId id, LockMode wanted) {
   {
     std::lock_guard lock(queue_mu_);
-    for (const auto& [qid, qmode] : revoke_queue_) {
-      if (qid == id) {
+    for (const auto& q : revoke_queue_) {
+      if (q.id == id) {
         return;  // already queued
       }
     }
-    revoke_queue_.emplace_back(id, wanted);
+    revoke_queue_.push_back(QueuedRevoke{id, wanted, NowNanos()});
   }
   queue_cv_.notify_all();
 }
@@ -444,7 +465,7 @@ void LockClerk::HandleRevoke(LockId id, LockMode wanted) {
 
 void LockClerk::DrainRevocationsForTesting() {
   for (;;) {
-    std::pair<LockId, LockMode> item;
+    QueuedRevoke item;
     {
       std::lock_guard lock(queue_mu_);
       if (revoke_queue_.empty()) {
@@ -453,7 +474,8 @@ void LockClerk::DrainRevocationsForTesting() {
       item = revoke_queue_.front();
       revoke_queue_.pop_front();
     }
-    HandleRevoke(item.first, item.second);
+    RecordRevokeQueueDwell(item.enqueue_ns);
+    HandleRevoke(item.id, item.wanted);
   }
 }
 
@@ -465,10 +487,11 @@ void LockClerk::WorkerLoop() {
   uint64_t last_renew_ns = NowNanos();
   while (!stopping_) {
     if (!revoke_queue_.empty()) {
-      auto [id, wanted] = revoke_queue_.front();
+      const QueuedRevoke item = revoke_queue_.front();
       revoke_queue_.pop_front();
       lock.unlock();
-      HandleRevoke(id, wanted);
+      RecordRevokeQueueDwell(item.enqueue_ns);
+      HandleRevoke(item.id, item.wanted);
       lock.lock();
       continue;
     }

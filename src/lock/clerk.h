@@ -176,7 +176,15 @@ class LockClerk final : public RevocationSink {
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<std::pair<LockId, LockMode>> revoke_queue_;
+  // Pending revocations with their enqueue timestamp, so dequeue can record
+  // queue dwell (clerk.revoke.queue_us): time a revocation sat behind the
+  // worker before the drain even started.
+  struct QueuedRevoke {
+    LockId id = 0;
+    LockMode wanted = LockMode::kFree;
+    uint64_t enqueue_ns = 0;
+  };
+  std::deque<QueuedRevoke> revoke_queue_;
   bool stopping_ = false;
   std::thread worker_;
 

@@ -118,12 +118,21 @@ Status LockService::Acquire(uint64_t client_id, LockId id, LockMode mode,
 
   LockState& lock = locks_[id];
   lock.waiters++;  // pins the entry across unlock/relock
+  // Live waiter-queue depth across all locks; mirrors the per-lock
+  // `waiters` field the service already keeps (aerie_top LOCK section).
+  static obs::Gauge& waiters_gauge =
+      obs::Registry::Instance().GetGauge("lock.waiters");
+  waiters_gauge.Add(1);
   const uint64_t deadline_ns =
       NowNanos() + options_.wait_timeout_ms * 1'000'000;
 
   // When this acquisition has to revoke, measure first-revocation-to-grant
   // latency: the cost a contending client pays for the clerk lock cache.
   uint64_t first_revoke_ns = 0;
+  // Total time this acquisition spent blocked in the waiter queue (the
+  // cv waits below); feeds lock.wait.latency_us and, via ScopedWait, the
+  // lockservice.acquire span's lock_wait_ns.
+  uint64_t waited_ns = 0;
   Status result = OkStatus();
   for (;;) {
     // Compute the target mode (upgrades keep existing strength).
@@ -213,12 +222,21 @@ Status LockService::Acquire(uint64_t client_id, LockId id, LockMode mode,
     lk.lock();
     // Holders release asynchronously; poll with a short wait (robust against
     // missed notifications during the unlocked upcall window).
-    lock.cv.wait_for(lk, std::chrono::microseconds(200));
+    {
+      obs::ScopedWait blocked(obs::WaitKind::kLock, &waited_ns);
+      lock.cv.wait_for(lk, std::chrono::microseconds(200));
+    }
   }
 
   lock.waiters--;
+  waiters_gauge.Sub(1);
   if (lock.holders.empty() && lock.waiters == 0) {
     locks_.erase(id);
+  }
+  if (waited_ns != 0 && obs::CountersOn()) {
+    static obs::LatencyHistogram& wait_latency =
+        obs::Registry::Instance().GetHistogram("lock.wait.latency_us");
+    wait_latency.Record(waited_ns / 1000);
   }
   if (first_revoke_ns != 0 && result.ok() && obs::CountersOn()) {
     static obs::LatencyHistogram& revoke_latency =

@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "src/obs/obs.h"
+#include "src/obs/profiler.h"
 
 namespace aerie {
 namespace obs {
@@ -102,6 +103,11 @@ void BenchReport::AddValue(const std::string& name, double value,
 void BenchReport::CaptureAttribution(size_t top_spans) {
   layers_.clear();
   hot_spans_.clear();
+  // Flush profiler rings first so span cpu_ns includes samples from the
+  // final partial collector interval of the attribution pass.
+  if (prof::IsRunning()) {
+    prof::DrainNow();
+  }
   const auto snaps = Registry::Instance().Collect();
   std::vector<LayerRow> layers;
   std::vector<SpanRow> spans;
@@ -115,12 +121,17 @@ void BenchReport::CaptureAttribution(size_t top_spans) {
     auto it = std::find_if(layers.begin(), layers.end(),
                            [&](const LayerRow& r) { return r.layer == layer; });
     if (it == layers.end()) {
-      layers.push_back(LayerRow{layer, 0, 0, 0});
+      layers.push_back(LayerRow{});
       it = layers.end() - 1;
+      it->layer = layer;
     }
     it->spans += snap.hist.count();
     it->self_ns += snap.span_self_ns;
     it->total_ns += snap.span_total_ns;
+    it->cpu_ns += snap.span_cpu_ns;
+    it->lock_wait_ns += snap.span_lock_wait_ns;
+    it->rpc_wait_ns += snap.span_rpc_wait_ns;
+    it->other_wait_ns += snap.span_other_wait_ns;
     spans.push_back(SpanRow{snap.name, snap.hist.count(), snap.span_self_ns});
   }
   std::sort(layers.begin(), layers.end(),
@@ -140,7 +151,7 @@ void BenchReport::CaptureAttribution(size_t top_spans) {
 
 std::string BenchReport::ToJson() const {
   std::string out = "{";
-  char buf[256];
+  char buf[512];
   std::snprintf(buf, sizeof(buf), "\"schema_version\":%d,",
                 kBenchReportSchemaVersion);
   out += buf;
@@ -189,13 +200,23 @@ std::string BenchReport::ToJson() const {
     if (i != 0) {
       out += ",";
     }
+    // cpu/wait come from the profiling plane: cpu_us is sampled on-CPU time
+    // (zero when AERIE_PROF is off), *_wait_us is instrumented off-CPU time.
     std::snprintf(buf, sizeof(buf),
                   "{\"layer\":\"%s\",\"spans\":%llu,\"self_ns\":%llu,"
-                  "\"total_ns\":%llu}",
+                  "\"total_ns\":%llu,\"cpu_us\":%s,\"lock_wait_us\":%s,"
+                  "\"rpc_wait_us\":%s,\"other_wait_us\":%s}",
                   JsonEscape(row.layer).c_str(),
                   static_cast<unsigned long long>(row.spans),
                   static_cast<unsigned long long>(row.self_ns),
-                  static_cast<unsigned long long>(row.total_ns));
+                  static_cast<unsigned long long>(row.total_ns),
+                  JsonNumber(static_cast<double>(row.cpu_ns) / 1e3).c_str(),
+                  JsonNumber(static_cast<double>(row.lock_wait_ns) / 1e3)
+                      .c_str(),
+                  JsonNumber(static_cast<double>(row.rpc_wait_ns) / 1e3)
+                      .c_str(),
+                  JsonNumber(static_cast<double>(row.other_wait_ns) / 1e3)
+                      .c_str());
     out += buf;
   }
   out += "],";

@@ -91,6 +91,13 @@ class BenchReport {
     uint64_t spans = 0;
     uint64_t self_ns = 0;
     uint64_t total_ns = 0;
+    // Profiler plane: sampled CPU and attributed off-CPU wait (emitted as
+    // cpu_us/lock_wait_us/rpc_wait_us/other_wait_us — optional fields in
+    // the schema, so no version bump).
+    uint64_t cpu_ns = 0;
+    uint64_t lock_wait_ns = 0;
+    uint64_t rpc_wait_ns = 0;
+    uint64_t other_wait_ns = 0;
   };
   struct SpanRow {
     std::string name;

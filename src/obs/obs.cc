@@ -77,6 +77,48 @@ ScopedSpan*& TlsCurrentSpan() {
   return current;
 }
 
+namespace detail {
+// Signal-handler-visible mirror of TlsCurrentSpan()->stat_ (see obs.h).
+thread_local constinit std::atomic<SpanStat*> g_tls_prof_span{nullptr};
+}  // namespace detail
+
+void AddWaitNsToCurrentSpan(WaitKind kind, uint64_t ns) {
+  if (!SpansOn()) {
+    return;
+  }
+  SpanStat* stat = detail::g_tls_prof_span.load(std::memory_order_relaxed);
+  if (stat != nullptr) {
+    stat->AddWaitNs(kind, ns);
+  }
+}
+
+ScopedWait::ScopedWait(WaitKind kind, uint64_t* total_ns) {
+  const bool span_live =
+      SpansOn() &&
+      detail::g_tls_prof_span.load(std::memory_order_relaxed) != nullptr;
+  const bool want_total = total_ns != nullptr && CountersOn();
+  if (!span_live && !want_total) {
+    return;
+  }
+  kind_ = kind;
+  total_ns_ = want_total ? total_ns : nullptr;
+  start_ns_ = NowNanos();
+}
+
+ScopedWait::~ScopedWait() {
+  if (start_ns_ == 0) {
+    return;
+  }
+  const uint64_t waited = NowNanos() - start_ns_;
+  if (total_ns_ != nullptr) {
+    *total_ns_ += waited;
+  }
+  // The innermost span is re-read here, not captured at construction: by
+  // destruction time any child spans opened inside the waited region have
+  // closed again, so the wait lands on the span that actually blocked.
+  AddWaitNsToCurrentSpan(kind_, waited);
+}
+
 Histogram LatencyHistogram::Snapshot() const {
   Histogram out;
   for (const Shard& shard : shards_) {
@@ -240,6 +282,10 @@ void MergeInto(std::map<std::string, MetricSnapshot>& out,
       snap.window.Merge(span.SelfWindowSnapshot());
       snap.span_total_ns += span.total_ns();
       snap.span_self_ns += span.self_ns();
+      snap.span_cpu_ns += span.cpu_ns();
+      snap.span_lock_wait_ns += span.lock_wait_ns();
+      snap.span_rpc_wait_ns += span.rpc_wait_ns();
+      snap.span_other_wait_ns += span.other_wait_ns();
       break;
     }
   }
@@ -436,6 +482,10 @@ struct LayerRow {
   uint64_t spans = 0;
   uint64_t self_ns = 0;
   uint64_t total_ns = 0;
+  uint64_t cpu_ns = 0;
+  uint64_t lock_wait_ns = 0;
+  uint64_t rpc_wait_ns = 0;
+  uint64_t other_wait_ns = 0;
 };
 
 std::vector<LayerRow> LayerRows(const std::vector<MetricSnapshot>& snaps) {
@@ -452,6 +502,10 @@ std::vector<LayerRow> LayerRows(const std::vector<MetricSnapshot>& snaps) {
     row.spans += snap.hist.count();
     row.self_ns += snap.span_self_ns;
     row.total_ns += snap.span_total_ns;
+    row.cpu_ns += snap.span_cpu_ns;
+    row.lock_wait_ns += snap.span_lock_wait_ns;
+    row.rpc_wait_ns += snap.span_rpc_wait_ns;
+    row.other_wait_ns += snap.span_other_wait_ns;
   }
   std::vector<LayerRow> out;
   out.reserve(layers.size());
@@ -504,7 +558,7 @@ std::string DumpJson() {
   std::string out = "{\"schema_version\":1,\"mode\":\"";
   out += ModeName(CurrentMode());
   out += "\"";
-  char buf[192];
+  char buf[384];
 
   const Metric::Kind kinds[] = {Metric::Kind::kCounter, Metric::Kind::kGauge,
                                 Metric::Kind::kHistogram,
@@ -539,10 +593,17 @@ std::string DumpJson() {
           out += snap.hist.ToJson();
           break;
         case Metric::Kind::kSpan:
-          std::snprintf(buf, sizeof(buf),
-                        "{\"total_ns\":%llu,\"self_ns\":%llu,\"self\":",
-                        static_cast<unsigned long long>(snap.span_total_ns),
-                        static_cast<unsigned long long>(snap.span_self_ns));
+          std::snprintf(
+              buf, sizeof(buf),
+              "{\"total_ns\":%llu,\"self_ns\":%llu,\"cpu_ns\":%llu,"
+              "\"lock_wait_ns\":%llu,\"rpc_wait_ns\":%llu,"
+              "\"other_wait_ns\":%llu,\"self\":",
+              static_cast<unsigned long long>(snap.span_total_ns),
+              static_cast<unsigned long long>(snap.span_self_ns),
+              static_cast<unsigned long long>(snap.span_cpu_ns),
+              static_cast<unsigned long long>(snap.span_lock_wait_ns),
+              static_cast<unsigned long long>(snap.span_rpc_wait_ns),
+              static_cast<unsigned long long>(snap.span_other_wait_ns));
           out += buf;
           out += snap.hist.ToJson();
           out += "}";
@@ -561,11 +622,17 @@ std::string DumpJson() {
     first = false;
     std::snprintf(buf, sizeof(buf),
                   "\"%s\":{\"spans\":%llu,\"self_ns\":%llu,"
-                  "\"total_ns\":%llu}",
+                  "\"total_ns\":%llu,\"cpu_ns\":%llu,"
+                  "\"lock_wait_ns\":%llu,\"rpc_wait_ns\":%llu,"
+                  "\"other_wait_ns\":%llu}",
                   JsonEscape(row.layer).c_str(),
                   static_cast<unsigned long long>(row.spans),
                   static_cast<unsigned long long>(row.self_ns),
-                  static_cast<unsigned long long>(row.total_ns));
+                  static_cast<unsigned long long>(row.total_ns),
+                  static_cast<unsigned long long>(row.cpu_ns),
+                  static_cast<unsigned long long>(row.lock_wait_ns),
+                  static_cast<unsigned long long>(row.rpc_wait_ns),
+                  static_cast<unsigned long long>(row.other_wait_ns));
     out += buf;
   }
   out += "}";
@@ -623,24 +690,40 @@ std::string LayerBreakdownText() {
   const auto snaps = Registry::Instance().Collect();
   const auto rows = LayerRows(snaps);
   std::string out;
-  char buf[160];
-  std::snprintf(buf, sizeof(buf), "%-12s %12s %14s %14s %10s\n", "layer",
-                "spans", "self(ms)", "incl(ms)", "self/span(us)");
+  char buf[224];
+  std::snprintf(buf, sizeof(buf),
+                "%-12s %12s %14s %14s %10s %10s %10s %10s %6s\n", "layer",
+                "spans", "self(ms)", "incl(ms)", "self/span(us)", "cpu(ms)",
+                "lockw(ms)", "rpcw(ms)", "wait%");
   out += buf;
   uint64_t total_self = 0;
   for (const LayerRow& row : rows) {
     total_self += row.self_ns;
   }
   for (const LayerRow& row : rows) {
+    const uint64_t wait_ns =
+        row.lock_wait_ns + row.rpc_wait_ns + row.other_wait_ns;
+    // Wait is charged against the span that blocked (its *self* region), so
+    // wait/self is the fraction of this layer's own time spent off-CPU;
+    // clamp for cross-thread rounding.
+    const double wait_pct =
+        row.self_ns > 0
+            ? std::min(100.0, 100.0 * static_cast<double>(wait_ns) /
+                                  static_cast<double>(row.self_ns))
+            : 0.0;
     std::snprintf(
-        buf, sizeof(buf), "%-12s %12llu %14.2f %14.2f %10.2f\n",
+        buf, sizeof(buf),
+        "%-12s %12llu %14.2f %14.2f %10.2f %10.2f %10.2f %10.2f %5.1f%%\n",
         row.layer.c_str(), static_cast<unsigned long long>(row.spans),
         static_cast<double>(row.self_ns) / 1e6,
         static_cast<double>(row.total_ns) / 1e6,
         row.spans > 0
             ? static_cast<double>(row.self_ns) / 1e3 /
                   static_cast<double>(row.spans)
-            : 0.0);
+            : 0.0,
+        static_cast<double>(row.cpu_ns) / 1e6,
+        static_cast<double>(row.lock_wait_ns) / 1e6,
+        static_cast<double>(row.rpc_wait_ns) / 1e6, wait_pct);
     out += buf;
   }
   std::snprintf(buf, sizeof(buf), "%-12s %12s %14.2f\n", "(sum)", "",

@@ -268,6 +268,18 @@ class LatencyHistogram final : public Metric {
   mutable std::array<Shard, kShards> shards_;
 };
 
+// Off-CPU wait categories for span attribution (profiler plane, DESIGN.md
+// §9.4). Instrumented wait sites charge their blocked wall time to the
+// calling thread's innermost live span under one of these; sampled CPU time
+// (src/obs/profiler.h) is the fourth bucket, so every span decomposes into
+// cpu / lock_wait / rpc_wait / other_wait.
+enum class WaitKind : int {
+  kLock = 0,   // lock-service waiter queues, clerk local-grant waits
+  kRpc = 1,    // RPC round trips (transport Call blocked on the server)
+  kOther = 2,  // everything else (drain stalls, batch-ship backpressure)
+};
+inline constexpr int kWaitKinds = 3;
+
 // Aggregate for one span call-site family (one `layer.op`): a histogram of
 // *self* time plus exact running sums for attribution arithmetic.
 class SpanStat final : public Metric {
@@ -296,10 +308,33 @@ class SpanStat final : public Metric {
   // LatencyHistogram::WindowSnapshot).
   Histogram SelfWindowSnapshot() const { return self_hist_.WindowSnapshot(); }
 
+  // CPU time attributed by the sampling profiler (period_ns per SIGPROF
+  // sample landing while this span was innermost on some thread) and
+  // off-CPU wait charged by instrumented wait sites. All relaxed; the
+  // profiler collector is the only AddCpuNs caller, wait sites call
+  // AddWaitNs from their own thread.
+  void AddCpuNs(uint64_t ns) {
+    cpu_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  void AddWaitNs(WaitKind kind, uint64_t ns) {
+    wait_ns_[static_cast<int>(kind)].fetch_add(ns, std::memory_order_relaxed);
+  }
+  uint64_t cpu_ns() const { return cpu_ns_.load(std::memory_order_relaxed); }
+  uint64_t wait_ns(WaitKind kind) const {
+    return wait_ns_[static_cast<int>(kind)].load(std::memory_order_relaxed);
+  }
+  uint64_t lock_wait_ns() const { return wait_ns(WaitKind::kLock); }
+  uint64_t rpc_wait_ns() const { return wait_ns(WaitKind::kRpc); }
+  uint64_t other_wait_ns() const { return wait_ns(WaitKind::kOther); }
+
   void Reset() override {
     count_.store(0, std::memory_order_relaxed);
     total_ns_.store(0, std::memory_order_relaxed);
     self_ns_.store(0, std::memory_order_relaxed);
+    cpu_ns_.store(0, std::memory_order_relaxed);
+    for (auto& w : wait_ns_) {
+      w.store(0, std::memory_order_relaxed);
+    }
     self_hist_.Reset();
   }
 
@@ -307,12 +342,27 @@ class SpanStat final : public Metric {
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> total_ns_{0};
   std::atomic<uint64_t> self_ns_{0};
+  std::atomic<uint64_t> cpu_ns_{0};
+  std::array<std::atomic<uint64_t>, kWaitKinds> wait_ns_{};
   LatencyHistogram self_hist_;
 };
 
 // Accessor for the thread's innermost live span (defined in obs.cc).
 class ScopedSpan;
 ScopedSpan*& TlsCurrentSpan();
+
+namespace detail {
+
+// Async-signal-safe mirror of the innermost live span's stat. ScopedSpan
+// keeps it in sync with TlsCurrentSpan(); the SIGPROF handler
+// (src/obs/profiler.cc) reads only this atomic — never the stack-allocated
+// ScopedSpan chain — because a sample can land between any two instructions
+// of ctor/dtor. Values are interned SpanStat pointers, valid for the
+// process lifetime, so a stale read is at worst misattributed, never a
+// dangling dereference.
+extern thread_local constinit std::atomic<SpanStat*> g_tls_prof_span;
+
+}  // namespace detail
 
 namespace detail {
 
@@ -349,6 +399,7 @@ class ScopedSpan {
     ScopedSpan*& tls = TlsCurrentSpan();
     parent_ = tls;
     tls = this;
+    detail::g_tls_prof_span.store(stat, std::memory_order_relaxed);
     detail::TraceSpanBegin(stat->name().c_str(), &trace_);
     start_ns_ = NowNanos();
   }
@@ -360,6 +411,9 @@ class ScopedSpan {
     const uint64_t end_ns = NowNanos();
     const uint64_t total = end_ns - start_ns_;
     TlsCurrentSpan() = parent_;
+    detail::g_tls_prof_span.store(
+        parent_ != nullptr ? parent_->stat_ : nullptr,
+        std::memory_order_relaxed);
     if (parent_ != nullptr) {
       parent_->child_ns_ += total;
     }
@@ -378,6 +432,29 @@ class ScopedSpan {
   detail::TraceLink trace_;
 };
 
+// Charges `ns` of off-CPU wait of `kind` to the calling thread's innermost
+// live span. No-op when spans are off or no span is live.
+void AddWaitNsToCurrentSpan(WaitKind kind, uint64_t ns);
+
+// RAII off-CPU wait measurement for an instrumented blocking site: charges
+// the wall time between construction and destruction as `kind` wait to the
+// calling thread's innermost live span. When `total_ns` is non-null the
+// measured time is also accumulated there whenever counters are on, even
+// without a live span — the lock service feeds lock.wait.latency_us from
+// it in plain counters mode. Inert (one clock-free branch) otherwise.
+class ScopedWait {
+ public:
+  explicit ScopedWait(WaitKind kind, uint64_t* total_ns = nullptr);
+  ~ScopedWait();
+  ScopedWait(const ScopedWait&) = delete;
+  ScopedWait& operator=(const ScopedWait&) = delete;
+
+ private:
+  uint64_t start_ns_ = 0;  // 0 = inert
+  uint64_t* total_ns_ = nullptr;
+  WaitKind kind_ = WaitKind::kOther;
+};
+
 // One row of an exporter snapshot; same-named instance metrics are merged.
 struct MetricSnapshot {
   std::string name;
@@ -388,6 +465,11 @@ struct MetricSnapshot {
   Histogram window;        // rolling-window view of `hist` (same kinds)
   uint64_t span_total_ns = 0;
   uint64_t span_self_ns = 0;
+  // Profiler plane (DESIGN.md §9.4): sampled CPU + attributed off-CPU wait.
+  uint64_t span_cpu_ns = 0;
+  uint64_t span_lock_wait_ns = 0;
+  uint64_t span_rpc_wait_ns = 0;
+  uint64_t span_other_wait_ns = 0;
 };
 
 class Registry {

@@ -20,6 +20,7 @@
 #include <thread>
 
 #include "src/common/clock.h"
+#include "src/obs/profiler.h"
 #include "src/obs/trace.h"
 
 #if defined(__GLIBC__)
@@ -77,15 +78,20 @@ constexpr int kEntKind = kEntNameWords + 0;
 constexpr int kEntValue = kEntNameWords + 1;
 constexpr int kEntSpanTotal = kEntNameWords + 2;
 constexpr int kEntSpanSelf = kEntNameWords + 3;
-constexpr int kEntCumCount = kEntNameWords + 4;
-constexpr int kEntCumSum = kEntNameWords + 5;
-constexpr int kEntCumMin = kEntNameWords + 6;
-constexpr int kEntCumMax = kEntNameWords + 7;
-constexpr int kEntWinCount = kEntNameWords + 8;
-constexpr int kEntWinSum = kEntNameWords + 9;
-constexpr int kEntWinMin = kEntNameWords + 10;
-constexpr int kEntWinMax = kEntNameWords + 11;
-constexpr int kEntBucketSlot = kEntNameWords + 12;
+// Format v2: the profiler plane's per-span CPU/off-CPU decomposition.
+constexpr int kEntSpanCpu = kEntNameWords + 4;
+constexpr int kEntSpanLockWait = kEntNameWords + 5;
+constexpr int kEntSpanRpcWait = kEntNameWords + 6;
+constexpr int kEntSpanOtherWait = kEntNameWords + 7;
+constexpr int kEntCumCount = kEntNameWords + 8;
+constexpr int kEntCumSum = kEntNameWords + 9;
+constexpr int kEntCumMin = kEntNameWords + 10;
+constexpr int kEntCumMax = kEntNameWords + 11;
+constexpr int kEntWinCount = kEntNameWords + 12;
+constexpr int kEntWinSum = kEntNameWords + 13;
+constexpr int kEntWinMin = kEntNameWords + 14;
+constexpr int kEntWinMax = kEntNameWords + 15;
+constexpr int kEntBucketSlot = kEntNameWords + 16;
 static_assert(kEntBucketSlot + 1 == kTelemetryEntryWords,
               "entry layout must fill kTelemetryEntryWords exactly");
 
@@ -189,6 +195,10 @@ void TelemetryPublisher::PublishNow() {
       case Metric::Kind::kSpan: {
         ent[kEntSpanTotal] = snap.span_total_ns;
         ent[kEntSpanSelf] = snap.span_self_ns;
+        ent[kEntSpanCpu] = snap.span_cpu_ns;
+        ent[kEntSpanLockWait] = snap.span_lock_wait_ns;
+        ent[kEntSpanRpcWait] = snap.span_rpc_wait_ns;
+        ent[kEntSpanOtherWait] = snap.span_other_wait_ns;
         ent[kEntCumCount] = snap.hist.count();
         ent[kEntCumSum] = snap.hist.sum();
         ent[kEntCumMin] = snap.hist.min();
@@ -270,6 +280,7 @@ bool ParseSnapshot(const std::vector<uint64_t>& w, TelemetrySnapshot* out) {
   out->publish_count = w[kHdrPublishCount];
   out->window_epoch_ns = w[kHdrWindowEpochNs];
   out->dropped_entries = w[kHdrDroppedEntries];
+  out->dropped_hists = w[kHdrDroppedHists];
   out->mode = static_cast<Mode>(
       std::min<uint64_t>(w[kHdrMode], static_cast<uint64_t>(Mode::kSpans)));
   out->process_name =
@@ -300,6 +311,10 @@ bool ParseSnapshot(const std::vector<uint64_t>& w, TelemetrySnapshot* out) {
       case Metric::Kind::kSpan: {
         m.span_total_ns = ent[kEntSpanTotal];
         m.span_self_ns = ent[kEntSpanSelf];
+        m.span_cpu_ns = ent[kEntSpanCpu];
+        m.span_lock_wait_ns = ent[kEntSpanLockWait];
+        m.span_rpc_wait_ns = ent[kEntSpanRpcWait];
+        m.span_other_wait_ns = ent[kEntSpanOtherWait];
         const uint64_t slot = ent[kEntBucketSlot];
         const uint64_t* cum_buckets = nullptr;
         const uint64_t* win_buckets = nullptr;
@@ -464,6 +479,10 @@ std::vector<TelemetryMetric> MergeTelemetry(
       dst.gauge += m.gauge;
       dst.span_total_ns += m.span_total_ns;
       dst.span_self_ns += m.span_self_ns;
+      dst.span_cpu_ns += m.span_cpu_ns;
+      dst.span_lock_wait_ns += m.span_lock_wait_ns;
+      dst.span_rpc_wait_ns += m.span_rpc_wait_ns;
+      dst.span_other_wait_ns += m.span_other_wait_ns;
       dst.has_hist = dst.has_hist || m.has_hist;
       dst.cumulative.Merge(m.cumulative);
       dst.window.Merge(m.window);
@@ -656,6 +675,10 @@ void StartProcessTelemetryOnce() {
       std::atexit(&ShutdownProcessTelemetry);
       pt->ticker = std::thread(&TickerMain);
     }
+    // The sampling profiler rides the same attach point: any process with
+    // AERIE_PROF set starts sampling here and writes its folded/JSON
+    // artifacts from its own atexit hook (src/obs/profiler.cc).
+    prof::MaybeStartFromEnv();
   });
 }
 

@@ -36,20 +36,23 @@
 namespace aerie {
 namespace obs {
 
-// --- Segment format (format_version 1) -------------------------------------
+// --- Segment format (format_version 2) -------------------------------------
 // The segment is an array of 64-bit words. Word 0..31 are the header,
 // followed by `entry_capacity` fixed-size entries and `hist_capacity`
 // bucket blobs (one blob = cumulative + window raw bucket arrays). Strings
 // (metric names, process name) are NUL-padded byte ranges inside words.
+// v2 widens span entries with the profiler plane's cpu/lock-wait/rpc-wait/
+// other-wait sums (readers reject mismatched versions, so mixed-version
+// processes simply don't merge).
 
 inline constexpr uint64_t kTelemetryMagic = 0x53424f4549524541ull;  // AERIEOBS
-inline constexpr uint64_t kTelemetryFormatVersion = 1;
+inline constexpr uint64_t kTelemetryFormatVersion = 2;
 inline constexpr int kTelemetryHeaderWords = 32;
 inline constexpr int kTelemetryNameBytes = 96;
-// name + kind + value + span_total + span_self + 2x(count,sum,min,max) +
-// bucket_slot.
+// name + kind + value + span_total + span_self + span cpu/lock/rpc/other +
+// 2x(count,sum,min,max) + bucket_slot.
 inline constexpr int kTelemetryEntryWords =
-    kTelemetryNameBytes / 8 + 4 + 8 + 1;
+    kTelemetryNameBytes / 8 + 4 + 4 + 8 + 1;
 inline constexpr int kTelemetryBucketWords = 2 * Histogram::kBuckets;
 inline constexpr uint64_t kTelemetryEntryCapacity = 768;
 inline constexpr uint64_t kTelemetryHistCapacity = 160;
@@ -143,6 +146,11 @@ struct TelemetryMetric {
   int64_t gauge = 0;
   uint64_t span_total_ns = 0;
   uint64_t span_self_ns = 0;
+  // Profiler plane (format v2): sampled CPU + attributed off-CPU waits.
+  uint64_t span_cpu_ns = 0;
+  uint64_t span_lock_wait_ns = 0;
+  uint64_t span_rpc_wait_ns = 0;
+  uint64_t span_other_wait_ns = 0;
   bool has_hist = false;  // bucket blob present (histogram/span kinds)
   Histogram cumulative;
   Histogram window;
@@ -157,6 +165,7 @@ struct TelemetrySnapshot {
   uint64_t publish_count = 0;
   uint64_t window_epoch_ns = 0;
   uint64_t dropped_entries = 0;
+  uint64_t dropped_hists = 0;
   Mode mode = Mode::kOff;
   std::vector<TelemetryMetric> metrics;  // sorted by name within a process
 };

@@ -32,7 +32,11 @@ class InprocTransport final : public Transport {
     }
     obs::ScopedSpan span(stats != nullptr && obs::SpansOn() ? &stats->span
                                                             : nullptr);
+    // Only the simulated wire halves count as RPC wait for this transport:
+    // dispatch runs the handler on the caller thread, which is real local
+    // CPU the profiler attributes to the handler's own spans.
     if (round_trip_ns_ != 0) {
+      obs::ScopedWait wire(obs::WaitKind::kRpc);
       SpinDelayNanos(round_trip_ns_ / 2);
     }
     Result<std::string> result = [&] {
@@ -44,6 +48,7 @@ class InprocTransport final : public Transport {
       return dispatcher_->Dispatch(client_id_, method, request);
     }();
     if (round_trip_ns_ != 0) {
+      obs::ScopedWait wire(obs::WaitKind::kRpc);
       SpinDelayNanos(round_trip_ns_ / 2);
     }
     if (stats != nullptr && result.ok()) {

@@ -259,6 +259,10 @@ Result<std::string> UdsTransport::Call(uint32_t method,
   frame.AppendU32(static_cast<uint32_t>(header.size() + request.size()));
   frame.AppendRaw(header.data());
   frame.AppendRaw(request);
+  // The round trip — request write through response read — is genuine
+  // off-CPU time blocked on the server; charge it to the rpc.<method> span
+  // (the RAII scope ends at function exit, after the ns-scale parse below).
+  obs::ScopedWait round_trip(obs::WaitKind::kRpc);
   AERIE_RETURN_IF_ERROR(WriteAll(fd_, frame.data().data(), frame.size()));
 
   auto resp_len_r = ReadU32Le(fd_);

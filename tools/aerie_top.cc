@@ -175,11 +175,16 @@ double RatePerSec(const Sample& prev, const Sample& cur,
 }
 
 // Per-layer aggregation of span metrics: exact self/total sums plus the
-// merged rolling-window self-time histogram.
+// merged rolling-window self-time histogram and the profiler plane's
+// sampled-CPU / attributed-wait sums (format v2 span entries).
 struct LayerRow {
   uint64_t spans = 0;
   uint64_t self_ns = 0;
   uint64_t total_ns = 0;
+  uint64_t cpu_ns = 0;
+  uint64_t lock_wait_ns = 0;
+  uint64_t rpc_wait_ns = 0;
+  uint64_t other_wait_ns = 0;
   Histogram window;
 };
 
@@ -193,9 +198,76 @@ std::map<std::string, LayerRow> LayerRows(const Sample& s) {
     row.spans += m.cumulative.count();
     row.self_ns += m.span_self_ns;
     row.total_ns += m.span_total_ns;
+    row.cpu_ns += m.span_cpu_ns;
+    row.lock_wait_ns += m.span_lock_wait_ns;
+    row.rpc_wait_ns += m.span_rpc_wait_ns;
+    row.other_wait_ns += m.span_other_wait_ns;
     row.window.Merge(m.window);
   }
   return rows;
+}
+
+// Share of a layer's wall-clock self time spent blocked (lock + rpc + other
+// wait). Waits can exceed self time when a wait spans child-span exits, so
+// clamp at 100 rather than confuse the reader.
+double WaitPct(const LayerRow& row) {
+  const uint64_t wait =
+      row.lock_wait_ns + row.rpc_wait_ns + row.other_wait_ns;
+  if (row.self_ns == 0) {
+    return wait != 0 ? 100.0 : 0.0;
+  }
+  return std::min(100.0, 100.0 * static_cast<double>(wait) /
+                             static_cast<double>(row.self_ns));
+}
+
+// Lock-plane view: the live waiter gauge plus the contention latency
+// histograms the lock layer publishes (values are recorded in
+// MICROSECONDS; multiply by 1e3 before feeding the ns pretty-printer).
+struct LockView {
+  int64_t waiters = 0;
+  bool any = false;
+  Histogram wait_latency;    // lock.wait.latency_us (cumulative)
+  Histogram revoke_latency;  // lock.revoke.latency_us (cumulative)
+  Histogram revoke_queue;    // clerk.revoke.queue_us (cumulative)
+};
+
+LockView LockRows(const Sample& s) {
+  LockView view;
+  for (const TelemetryMetric& m : s.merged) {
+    if (m.kind == obs::Metric::Kind::kGauge && m.name == "lock.waiters") {
+      view.waiters = m.gauge;
+      view.any = true;
+    } else if (m.name == "lock.wait.latency_us") {
+      view.wait_latency.Merge(m.cumulative);
+      view.any = true;
+    } else if (m.name == "lock.revoke.latency_us") {
+      view.revoke_latency.Merge(m.cumulative);
+      view.any = true;
+    } else if (m.name == "clerk.revoke.queue_us") {
+      view.revoke_queue.Merge(m.cumulative);
+      view.any = true;
+    }
+  }
+  return view;
+}
+
+// Total shm-export drops across live segments. Nonzero means the telemetry
+// in view is INCOMPLETE (entry or bucket capacity exhausted) and capacities
+// in src/obs/telemetry.h need raising — surfaced as a warning header and a
+// machine-readable JSON field so dashboards can alarm on it.
+struct DroppedTotals {
+  uint64_t entries = 0;
+  uint64_t hists = 0;
+  bool warning() const { return entries != 0 || hists != 0; }
+};
+
+DroppedTotals SumDropped(const Sample& s) {
+  DroppedTotals t;
+  for (const TelemetrySnapshot& p : s.processes) {
+    t.entries += p.dropped_entries;
+    t.hists += p.dropped_hists;
+  }
+  return t;
 }
 
 // Per-RPC-method rows keyed by method name ("tfs.apply_batch"): the
@@ -245,27 +317,37 @@ void RenderText(const Options& opt, const Sample& prev, const Sample& cur) {
   }
   const double interval_s =
       static_cast<double>(cur.mono_ns - prev.mono_ns) / 1e9;
-  std::printf("aerie_top — %zu process(es) in %s, interval %.1fs\n\n",
+  std::printf("aerie_top — %zu process(es) in %s, interval %.1fs\n",
               cur.processes.size(), opt.dir.c_str(), interval_s);
+  const DroppedTotals dropped = SumDropped(cur);
+  if (dropped.warning()) {
+    std::printf("WARNING: telemetry INCOMPLETE — %" PRIu64
+                " dropped entr%s, %" PRIu64
+                " dropped histogram%s (segment capacity exhausted; raise "
+                "kTelemetryEntryCapacity/kTelemetryHistCapacity)\n",
+                dropped.entries, dropped.entries == 1 ? "y" : "ies",
+                dropped.hists, dropped.hists == 1 ? "" : "s");
+  }
+  std::printf("\n");
 
-  std::printf("%7s  %-16s  %-8s  %9s  %8s  %7s\n", "PID", "PROCESS", "MODE",
-              "PUBLISHES", "METRICS", "DROPPED");
+  std::printf("%7s  %-16s  %-8s  %9s  %8s  %7s  %7s\n", "PID", "PROCESS",
+              "MODE", "PUBLISHES", "METRICS", "DROPPED", "DROPH");
   for (const TelemetrySnapshot& p : cur.processes) {
     const char* mode = p.mode == obs::Mode::kOff
                            ? "off"
                            : (p.mode == obs::Mode::kCounters ? "counters"
                                                              : "spans");
     std::printf("%7" PRIu64 "  %-16.16s  %-8s  %9" PRIu64 "  %8zu  %7" PRIu64
-                "\n",
+                "  %7" PRIu64 "\n",
                 p.pid, p.process_name.c_str(), mode, p.publish_count,
-                p.metrics.size(), p.dropped_entries);
+                p.metrics.size(), p.dropped_entries, p.dropped_hists);
   }
 
   const auto layers = LayerRows(cur);
   if (!layers.empty()) {
-    std::printf("\n%-12s  %10s  %10s  %10s  %8s  %8s  %8s  %8s\n", "LAYER",
-                "SPANS", "SPANS/S", "SELF", "win p50", "win p95", "win p99",
-                "win n");
+    std::printf("\n%-12s  %10s  %10s  %10s  %8s  %6s  %8s  %8s  %8s\n",
+                "LAYER", "SPANS", "SPANS/S", "SELF", "CPU", "WAIT%",
+                "win p50", "win p95", "win p99");
     const auto prev_layers = LayerRows(prev);
     const double secs = interval_s > 0 ? interval_s : 1;
     for (const auto& [name, row] : layers) {
@@ -274,15 +356,37 @@ void RenderText(const Options& opt, const Sample& prev, const Sample& cur) {
       if (pit != prev_layers.end() && row.spans >= pit->second.spans) {
         rate = static_cast<double>(row.spans - pit->second.spans) / secs;
       }
-      std::printf("%-12.12s  %10s  %10s  %10s  %8s  %8s  %8s  %8s\n",
+      std::printf("%-12.12s  %10s  %10s  %10s  %8s  %5.1f%%  %8s  %8s  %8s\n",
                   name.c_str(),
                   PrettyCount(static_cast<double>(row.spans)).c_str(),
                   PrettyCount(rate).c_str(), PrettyNanos(row.self_ns).c_str(),
+                  PrettyNanos(row.cpu_ns).c_str(), WaitPct(row),
                   PrettyNanos(row.window.Percentile(50)).c_str(),
                   PrettyNanos(row.window.Percentile(95)).c_str(),
-                  PrettyNanos(row.window.Percentile(99)).c_str(),
-                  PrettyCount(static_cast<double>(row.window.count()))
-                      .c_str());
+                  PrettyNanos(row.window.Percentile(99)).c_str());
+    }
+  }
+
+  const LockView locks = LockRows(cur);
+  if (locks.any) {
+    std::printf("\nlocks: %" PRId64 " waiter(s) now\n", locks.waiters);
+    std::printf("%-24s  %10s  %8s  %8s  %8s\n", "LOCK HISTOGRAM", "COUNT",
+                "p50", "p95", "p99");
+    const struct {
+      const char* name;
+      const Histogram* hist;
+    } lock_hists[] = {
+        {"lock.wait.latency_us", &locks.wait_latency},
+        {"lock.revoke.latency_us", &locks.revoke_latency},
+        {"clerk.revoke.queue_us", &locks.revoke_queue},
+    };
+    for (const auto& h : lock_hists) {
+      // Recorded values are microseconds; scale to ns for the pretty units.
+      std::printf("%-24s  %10s  %8s  %8s  %8s\n", h.name,
+                  PrettyCount(static_cast<double>(h.hist->count())).c_str(),
+                  PrettyNanos(h.hist->Percentile(50) * 1000).c_str(),
+                  PrettyNanos(h.hist->Percentile(95) * 1000).c_str(),
+                  PrettyNanos(h.hist->Percentile(99) * 1000).c_str());
     }
   }
 
@@ -334,13 +438,23 @@ void AppendHistJson(std::string* out, const Histogram& h) {
 
 std::string RenderJson(const Options& opt, const Sample& prev,
                        const Sample& cur) {
-  char buf[160];
-  std::string out = "{\n  \"schema_version\": 1,\n";
+  char buf[320];
+  // schema_version 2: adds per-process dropped_hists, the top-level
+  // dropped/locks objects, and per-layer cpu/wait attribution (all
+  // REQUIRED in tools/telemetry_schema.json, hence the version bump).
+  std::string out = "{\n  \"schema_version\": 2,\n";
   std::snprintf(buf, sizeof(buf), "  \"interval_ms\": %" PRIu64 ",\n",
                 static_cast<uint64_t>(cur.mono_ns - prev.mono_ns) /
                     uint64_t{1000000});
   out += buf;
   out += "  \"dir\": \"" + JsonEscape(opt.dir) + "\",\n";
+  const DroppedTotals dropped = SumDropped(cur);
+  std::snprintf(buf, sizeof(buf),
+                "  \"dropped\": {\"entries\": %" PRIu64 ", \"hists\": %" PRIu64
+                ", \"warning\": %s},\n",
+                dropped.entries, dropped.hists,
+                dropped.warning() ? "true" : "false");
+  out += buf;
 
   out += "  \"processes\": [";
   bool first = true;
@@ -354,9 +468,11 @@ std::string RenderJson(const Options& opt, const Sample& prev,
     std::snprintf(buf, sizeof(buf),
                   "    {\"pid\": %" PRIu64 ", \"name\": \"%s\", \"mode\": "
                   "\"%s\", \"publish_count\": %" PRIu64
-                  ", \"metrics\": %zu, \"dropped_entries\": %" PRIu64 "}",
+                  ", \"metrics\": %zu, \"dropped_entries\": %" PRIu64
+                  ", \"dropped_hists\": %" PRIu64 "}",
                   p.pid, JsonEscape(p.process_name).c_str(), mode,
-                  p.publish_count, p.metrics.size(), p.dropped_entries);
+                  p.publish_count, p.metrics.size(), p.dropped_entries,
+                  p.dropped_hists);
     out += buf;
   }
   out += "\n  ],\n";
@@ -377,9 +493,12 @@ std::string RenderJson(const Options& opt, const Sample& prev,
     std::snprintf(buf, sizeof(buf),
                   "    \"%s\": {\"spans\": %" PRIu64 ", \"spans_per_sec\": "
                   "%.1f, \"self_ns\": %" PRIu64 ", \"total_ns\": %" PRIu64
-                  ", \"window\": ",
+                  ", \"cpu_ns\": %" PRIu64 ", \"lock_wait_ns\": %" PRIu64
+                  ", \"rpc_wait_ns\": %" PRIu64 ", \"other_wait_ns\": %" PRIu64
+                  ", \"wait_pct\": %.1f, \"window\": ",
                   JsonEscape(name).c_str(), row.spans, rate, row.self_ns,
-                  row.total_ns);
+                  row.total_ns, row.cpu_ns, row.lock_wait_ns, row.rpc_wait_ns,
+                  row.other_wait_ns, WaitPct(row));
     out += buf;
     AppendHistJson(&out, row.window);
     out += "}";
@@ -403,6 +522,19 @@ std::string RenderJson(const Options& opt, const Sample& prev,
     out += "}";
   }
   out += "\n  },\n";
+
+  const LockView locks = LockRows(cur);
+  std::snprintf(buf, sizeof(buf),
+                "  \"locks\": {\"waiters\": %" PRId64
+                ", \"wait_latency_us\": ",
+                locks.waiters);
+  out += buf;
+  AppendHistJson(&out, locks.wait_latency);
+  out += ", \"revoke_latency_us\": ";
+  AppendHistJson(&out, locks.revoke_latency);
+  out += ", \"revoke_queue_us\": ";
+  AppendHistJson(&out, locks.revoke_queue);
+  out += "},\n";
 
   const obs::WriteAmpReport amp = obs::ComputeWriteAmp(CounterPairs(cur));
   std::snprintf(buf, sizeof(buf),

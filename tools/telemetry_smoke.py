@@ -5,8 +5,12 @@ Launches a real multi-client bench (table3_multiclient) with the
 shared-memory publisher enabled in a private segment directory, attaches
 aerie_top --json MID-RUN (while the bench is still working), and validates
 the document against tools/telemetry_schema.json — requiring at least one
-live process, at least one per-layer span row, and a nonzero logical write
-byte count so the write-amplification pipeline is proven end to end.
+live process, at least one per-layer span row, a nonzero logical write
+byte count so the write-amplification pipeline is proven end to end, and
+nonzero lock-wait attribution so the off-CPU wait plane is proven on a
+genuinely contended multi-client run. The sampling profiler is enabled
+(AERIE_PROF=1) so SIGPROF coexisting with the shm publisher is exercised
+here too.
 
 Stdlib only; wired as the `telemetry_smoke` ctest target.
 
@@ -46,7 +50,10 @@ def main():
             "AERIE_OBS": "spans",
             "AERIE_OBS_SHM_DIR": shm,
             "AERIE_OBS_SHM_INTERVAL_MS": "50",
-            "AERIE_BENCH_SCALE": "0.02",
+            "AERIE_PROF": "1",
+            # Scale 0.05 (not 0.02): the lock-wait gate below needs enough
+            # clients per directory tree that acquires actually contend.
+            "AERIE_BENCH_SCALE": "0.05",
             "AERIE_BENCH_SECONDS": "%g" % args.seconds,
         })
         bench = subprocess.Popen(
@@ -103,7 +110,7 @@ def main():
         rc = subprocess.call([
             sys.executable, os.path.join(tools_dir, "validate_telemetry.py"),
             "--min-processes", "1", "--min-layers", "1",
-            "--require-logical-writes", doc_path])
+            "--require-logical-writes", "--require-lock-wait", doc_path])
         if rc != 0:
             return rc
 

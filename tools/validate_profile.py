@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Validate sampling-profiler artifacts (src/obs/profiler.{h,cc}).
+
+Two artifact kinds, either or both:
+
+  --folded F   collapsed-stack file (AERIE_PROF_FOLDED): every line must be
+               `layer;span[;frame...] <count>` — the flamegraph.pl /
+               speedscope collapsed format — with a positive integer count,
+               no empty stack components, and lines in sorted order (the
+               exporter sorts for determinism, so out-of-order lines mean a
+               writer bug or artifact corruption).
+  --json J     profile JSON (AERIE_PROF_JSON), checked against
+               tools/profile_schema.json with the dependency-free Validator
+               from tools/validate_bench.py (stdlib only, like the other
+               CI validators).
+
+Semantic gates:
+
+  --min-samples N   require at least N recorded samples: folded counts must
+                    sum to >= N and/or json "samples" >= N. Use in CI to
+                    prove a profiled bench actually sampled (a silent
+                    always-empty profile would otherwise pass).
+
+Exit code 0 when every named artifact conforms, 1 with per-path errors.
+
+Usage:
+  tools/validate_profile.py --folded prof.folded --min-samples 1
+  tools/validate_profile.py --folded prof.folded --json prof.json
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from validate_bench import Validator  # noqa: E402
+
+# layer;span[;frame...] <count> — components may not be empty; the exporter
+# rewrites ';' and ' ' inside symbols, so the split is unambiguous.
+FOLDED_LINE = re.compile(r"^([^ ;]+(?:;[^ ;]+)+) (\d+)$")
+
+
+def check_folded(path, errors):
+    """Returns the total sample count across all folded lines."""
+    try:
+        with open(path) as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        errors.append("%s: cannot read: %s" % (path, e))
+        return 0
+    total = 0
+    stacks = []
+    for i, line in enumerate(lines, 1):
+        m = FOLDED_LINE.match(line)
+        if not m:
+            errors.append("%s:%d: not `layer;span[;frame...] <count>`: %r"
+                          % (path, i, line[:120]))
+            continue
+        count = int(m.group(2))
+        if count < 1:
+            errors.append("%s:%d: count must be >= 1" % (path, i))
+        total += count
+        stacks.append(m.group(1))
+    # The exporter sorts element-wise by (layer, span, frames...), which is
+    # not the same as sorting the joined line (';' is not the lowest byte),
+    # so compare split components.
+    if stacks != sorted(stacks, key=lambda s: s.split(";")):
+        errors.append("%s: stacks are not sorted (exporter sorts for "
+                      "determinism; unsorted output means corruption)"
+                      % path)
+    if len(stacks) != len(set(stacks)):
+        errors.append("%s: duplicate folded stacks (aggregation failed to "
+                      "merge identical keys)" % path)
+    return total
+
+
+def check_json(path, schema_path, errors):
+    """Returns the json document's sample count."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        errors.append("%s: cannot read: %s" % (path, e))
+        return 0
+    except json.JSONDecodeError as e:
+        errors.append("%s: invalid JSON: %s" % (path, e))
+        return 0
+    with open(schema_path) as f:
+        schema = json.load(f)
+    validator = Validator(schema)
+    validator.check(doc, schema, "")
+    errors.extend("%s: %s" % (path, e) for e in validator.errors)
+    # Cross-field sanity the schema subset cannot express: stack counts
+    # cannot exceed total samples (stacks only cover spanned samples).
+    stack_total = sum(s.get("count", 0) for s in doc.get("stacks", []))
+    if stack_total > doc.get("samples", 0):
+        errors.append("%s: stack counts sum to %d > samples %d"
+                      % (path, stack_total, doc.get("samples", 0)))
+    return doc.get("samples", 0)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--folded", help="collapsed-stack artifact")
+    parser.add_argument("--json", dest="json_path",
+                        help="profile JSON artifact")
+    parser.add_argument(
+        "--schema",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "profile_schema.json"),
+        help="schema file (default: tools/profile_schema.json)")
+    parser.add_argument("--min-samples", type=int, default=0)
+    args = parser.parse_args()
+    if not args.folded and not args.json_path:
+        parser.error("nothing to validate: pass --folded and/or --json")
+
+    errors = []
+    folded_total = json_total = 0
+    if args.folded:
+        folded_total = check_folded(args.folded, errors)
+    if args.json_path:
+        json_total = check_json(args.json_path, args.schema, errors)
+
+    if args.min_samples > 0:
+        if args.folded and folded_total < args.min_samples:
+            errors.append("%s: folded counts sum to %d, expected >= %d"
+                          % (args.folded, folded_total, args.min_samples))
+        if args.json_path and json_total < args.min_samples:
+            errors.append("%s: samples %d, expected >= %d"
+                          % (args.json_path, json_total, args.min_samples))
+
+    if errors:
+        print("FAIL:")
+        for err in errors:
+            print("  " + err)
+        return 1
+    parts = []
+    if args.folded:
+        parts.append("%s (%d folded samples)" % (args.folded, folded_total))
+    if args.json_path:
+        parts.append("%s (%d samples)" % (args.json_path, json_total))
+    print("OK: " + ", ".join(parts))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

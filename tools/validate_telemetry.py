@@ -13,6 +13,12 @@ Beyond schema conformance, optional semantic gates for the CI smoke test:
                       require write_amp.logical_bytes > 0 (proves the
                       API-boundary logical byte counters and the per-layer
                       SCM accounting were both live)
+  --require-lock-wait require nonzero lock-wait attribution: some layer's
+                      lock_wait_ns > 0 or locks.wait_latency_us.count > 0
+                      (proves the off-CPU wait plane end to end on a
+                      contended multi-client run)
+  --forbid-drops      fail when dropped.warning is true (segment capacity
+                      was exhausted, so the sample is incomplete)
 
 Exit code 0 when the document conforms, 1 with per-path errors otherwise.
 
@@ -42,6 +48,8 @@ def main():
     parser.add_argument("--min-processes", type=int, default=0)
     parser.add_argument("--min-layers", type=int, default=0)
     parser.add_argument("--require-logical-writes", action="store_true")
+    parser.add_argument("--require-lock-wait", action="store_true")
+    parser.add_argument("--forbid-drops", action="store_true")
     args = parser.parse_args()
 
     with open(args.schema) as f:
@@ -69,6 +77,21 @@ def main():
         if logical <= 0:
             errors.append("$.write_amp.logical_bytes: expected > 0, got %r"
                           % logical)
+    if args.require_lock_wait:
+        layer_wait = sum(row.get("lock_wait_ns", 0)
+                         for row in doc.get("layers", {}).values())
+        hist_count = (doc.get("locks", {})
+                      .get("wait_latency_us", {}).get("count", 0))
+        if layer_wait <= 0 and hist_count <= 0:
+            errors.append(
+                "$.layers[*].lock_wait_ns / $.locks.wait_latency_us.count: "
+                "expected nonzero lock-wait attribution, got 0 / 0")
+    if args.forbid_drops:
+        if doc.get("dropped", {}).get("warning", False):
+            errors.append("$.dropped: warning is true (%r entries, %r hists "
+                          "dropped — telemetry incomplete)"
+                          % (doc.get("dropped", {}).get("entries"),
+                             doc.get("dropped", {}).get("hists")))
 
     if errors:
         print("FAIL: %s" % args.document)
