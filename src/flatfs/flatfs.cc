@@ -13,8 +13,15 @@ FlatFs::FlatFs(LibFs* fs, const Options& options)
       ctx_(fs->read_context()),
       root_(fs->flat_root()) {
   hook_token_ = fs_->AddReleaseHook([this](LockId) {
-    std::lock_guard lock(overlay_mu_);
-    pending_.clear();
+    {
+      std::lock_guard lock(overlay_mu_);
+      pending_.clear();
+    }
+    // Cached value locations were validated under authority that is leaving
+    // us; drop them (the departing epoch would force fallback anyway, and a
+    // replaced value's storage may be recycled once the batch applies).
+    std::unique_lock dlock(direct_mu_);
+    direct_values_.clear();
   });
 }
 
@@ -74,6 +81,64 @@ Result<std::pair<Oid, uint64_t>> FlatFs::Find(const Collection& coll,
   return std::make_pair(oid, mfile->size());
 }
 
+// --- Direct data path (DESIGN.md §10) ---------------------------------------
+
+bool FlatFs::TryDirectGet(std::string_view key, std::span<char> out,
+                          uint64_t* n) {
+  if (!DirectUsable()) {
+    return false;
+  }
+  DirectValue v;
+  {
+    std::shared_lock lock(direct_mu_);
+    auto it = direct_values_.find(std::string(key));
+    if (it == direct_values_.end()) {
+      return false;
+    }
+    v = it->second;
+  }
+  LockClerk* clerk = fs_->clerk();
+  if (!clerk->TryEnterDirect(v.epoch)) {
+    fs_->CountDirectFallback();
+    return false;
+  }
+  const uint64_t copied = std::min<uint64_t>(out.size(), v.size);
+  std::memcpy(out.data(), ctx_.region->PtrAt(v.extent), copied);
+  clerk->ExitDirect();
+  fs_->CountDirectRead(copied);
+  *n = copied;
+  return true;
+}
+
+void FlatFs::StoreDirectValue(std::string_view key, LockId lock, Oid file,
+                              uint64_t size) {
+  if (!DirectUsable()) {
+    return;
+  }
+  auto epoch = fs_->clerk()->DirectGrant(lock, LockMode::kShared);
+  if (!epoch.ok()) {
+    return;
+  }
+  auto mfile = MFile::Open(ctx_, file);
+  if (!mfile.ok()) {
+    return;
+  }
+  auto extent = mfile->ExtentForPage(0);
+  if (!extent.ok()) {
+    return;
+  }
+  std::unique_lock dlock(direct_mu_);
+  if (direct_values_.size() >= kDirectValuesMax) {
+    direct_values_.clear();
+  }
+  direct_values_[std::string(key)] = DirectValue{*extent, size, *epoch};
+}
+
+void FlatFs::InvalidateDirectValue(std::string_view key) {
+  std::unique_lock dlock(direct_mu_);
+  direct_values_.erase(std::string(key));
+}
+
 Status FlatFs::Put(std::string_view key, std::span<const char> data) {
   AERIE_SPAN("flatfs", "put");
   AERIE_SCM_LAYER("flatfs");
@@ -105,8 +170,15 @@ Status FlatFs::Put(std::string_view key, std::span<const char> data) {
   Status st = fs_->LogOp(std::move(op));
   if (st.ok()) {
     AERIE_COUNT_N("flatfs.api.logical_write_bytes", data.size());
-    std::lock_guard guard(overlay_mu_);
-    pending_[std::string(key)] = PendingEntry{file.raw(), data.size(), false};
+    {
+      std::lock_guard guard(overlay_mu_);
+      pending_[std::string(key)] =
+          PendingEntry{file.raw(), data.size(), false};
+    }
+    // The key now points at a new file; re-cache eagerly while the bucket
+    // lock is held so read-after-write stays on the direct path.
+    InvalidateDirectValue(key);
+    StoreDirectValue(key, lock, file, data.size());
   }
   fs_->clerk()->Release(lock);
   return st;
@@ -114,6 +186,10 @@ Status FlatFs::Put(std::string_view key, std::span<const char> data) {
 
 Result<uint64_t> FlatFs::Get(std::string_view key, std::span<char> out) {
   AERIE_SPAN("flatfs", "get");
+  uint64_t direct_n = 0;
+  if (TryDirectGet(key, out, &direct_n)) {
+    return direct_n;
+  }
   AERIE_ASSIGN_OR_RETURN(LockId lock, LockBucket(key, /*write=*/false));
   Status st = OkStatus();
   uint64_t copied = 0;
@@ -149,6 +225,7 @@ Result<uint64_t> FlatFs::Get(std::string_view key, std::span<char> out) {
                 copied = *n;
               }
             }
+            StoreDirectValue(key, lock, found->first, found->second);
           }
         }
       }
@@ -191,8 +268,11 @@ Status FlatFs::Erase(std::string_view key) {
         op.name = std::string(key);
         st = fs_->LogOp(std::move(op));
         if (st.ok()) {
-          std::lock_guard guard(overlay_mu_);
-          pending_[std::string(key)] = PendingEntry{0, 0, true};
+          {
+            std::lock_guard guard(overlay_mu_);
+            pending_[std::string(key)] = PendingEntry{0, 0, true};
+          }
+          InvalidateDirectValue(key);
         }
       }
     }

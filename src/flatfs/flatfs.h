@@ -19,6 +19,7 @@
 #include <functional>
 #include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -38,6 +39,10 @@ class FlatFs {
     // maximum size"). Puts larger than this fail kOutOfSpace.
     uint64_t file_capacity = 64 << 10;
     bool flush_data_on_write = true;
+    // Direct data path (DESIGN.md §10): gets served from a cached value
+    // location under the clerk's direct-access epoch, skipping the bucket
+    // lock + collection lookup. Also gated by AERIE_DIRECT.
+    bool direct_data = true;
   };
 
   FlatFs(LibFs* fs, const Options& options);
@@ -82,6 +87,26 @@ class FlatFs {
   Result<std::pair<Oid, uint64_t>> Find(const Collection& coll,
                                         std::string_view key);
 
+  // --- Direct data path (DESIGN.md §10) ---
+  // Values are single extents, so a direct get is one epoch-pinned memcpy
+  // from the cached extent base. Cached under the bucket lock; any revoke
+  // anywhere bumps the epoch and forces the locked path.
+  struct DirectValue {
+    uint64_t extent = 0;  // region offset of the value bytes
+    uint64_t size = 0;
+    uint64_t epoch = 0;
+  };
+  static constexpr size_t kDirectValuesMax = 1 << 16;
+
+  bool DirectUsable() const {
+    return options_.direct_data && LibFs::DirectEnabled();
+  }
+  bool TryDirectGet(std::string_view key, std::span<char> out, uint64_t* n);
+  // Caller holds `lock` (the bucket or collection lock covering `key`).
+  void StoreDirectValue(std::string_view key, LockId lock, Oid file,
+                        uint64_t size);
+  void InvalidateDirectValue(std::string_view key);
+
   LibFs* fs_;
   Options options_;
   OsdContext ctx_;
@@ -90,6 +115,9 @@ class FlatFs {
 
   std::mutex overlay_mu_;
   std::unordered_map<std::string, PendingEntry> pending_;
+
+  std::shared_mutex direct_mu_;
+  std::unordered_map<std::string, DirectValue> direct_values_;
 };
 
 }  // namespace aerie

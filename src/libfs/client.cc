@@ -1,6 +1,8 @@
 #include "src/libfs/client.h"
 
+#include <cstdlib>
 #include <cstring>
+#include <string_view>
 
 #include "src/common/check.h"
 #include "src/obs/trace.h"
@@ -195,6 +197,12 @@ Status LibFs::ShipBatchLocked(std::unique_lock<std::mutex>* lock) {
         result = transport_->Call(kTfsRpcApplyBatch, blob).status();
         if (result.ok()) {
           batches_shipped_.Add(1);
+        } else {
+          // A rejected batch means acknowledged metadata updates are gone.
+          // Background shippers (flusher, release hook) have nobody to hand
+          // the status to, so the loss must at least be visible here.
+          batches_ship_failed_.Add(1);
+          obs::TraceInstant("libfs.ship_batch.failed", ops.size());
         }
       }
     }
@@ -206,6 +214,45 @@ Status LibFs::ShipBatchLocked(std::unique_lock<std::mutex>* lock) {
 Status LibFs::Sync() {
   std::unique_lock lock(batch_mu_);
   return ShipBatchLocked(&lock);
+}
+
+// --- Direct data path (DESIGN.md §10) ---
+
+bool LibFs::DirectEnabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("AERIE_DIRECT");
+    if (v == nullptr) {
+      return true;
+    }
+    return !(std::string_view(v) == "off" || std::string_view(v) == "0" ||
+             std::string_view(v) == "false");
+  }();
+  return enabled;
+}
+
+std::shared_ptr<const LibFs::DirectMap> LibFs::LookupDirect(Oid file) {
+  std::shared_lock lock(direct_mu_);
+  auto it = direct_maps_.find(file.offset());
+  return it == direct_maps_.end() ? nullptr : it->second;
+}
+
+void LibFs::StoreDirect(Oid file, DirectMap map) {
+  std::unique_lock lock(direct_mu_);
+  if (direct_maps_.size() >= kDirectCacheMax) {
+    direct_maps_.clear();  // coarse cap: rebuilt on demand via slow paths
+  }
+  direct_maps_[file.offset()] =
+      std::make_shared<const DirectMap>(std::move(map));
+}
+
+void LibFs::InvalidateDirect(Oid file) {
+  std::unique_lock lock(direct_mu_);
+  direct_maps_.erase(file.offset());
+}
+
+void LibFs::ClearDirectCache() {
+  std::unique_lock lock(direct_mu_);
+  direct_maps_.clear();
 }
 
 Status LibFs::SyncAndReleaseLocks() {

@@ -21,11 +21,14 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/lock/clerk.h"
+#include "src/osd/mfile.h"
 #include "src/osd/oid.h"
 #include "src/osd/osd_context.h"
 #include "src/osd/volume.h"
@@ -113,11 +116,48 @@ class LibFs {
   Result<uint64_t> ServiceRead(Oid file, uint64_t offset, std::span<char> out);
   Status ServiceWrite(Oid file, uint64_t offset, std::span<const char> data);
 
+  // --- Direct data path (DESIGN.md §10) ---
+  // Process-wide gate: true unless AERIE_DIRECT is "off"/"0" (read once).
+  static bool DirectEnabled();
+
+  // A cached extent-map snapshot plus the clerk direct-access epoch it was
+  // validated under. Interface layers fill one on the locked path (lock
+  // held, so the snapshot is coherent) and later reuse it lock-free: pin
+  // the clerk epoch, memcpy, unpin. `writable` records whether the snapshot
+  // was validated with exclusive authority (required for WriteDirect).
+  struct DirectMap {
+    MFile::DirectExtentMap map;
+    uint64_t epoch = 0;
+    bool writable = false;
+  };
+
+  // Shared-lock lookup returning the cached snapshot (no deep copy), or
+  // nullptr. A hit is only *usable* after clerk()->TryEnterDirect(epoch).
+  std::shared_ptr<const DirectMap> LookupDirect(Oid file);
+  // Inserts/replaces the snapshot for `file`. The cache is size-capped:
+  // at the cap it is cleared wholesale (rebuilt on demand) rather than
+  // growing without bound.
+  void StoreDirect(Oid file, DirectMap map);
+  // Drops one file's snapshot (any local structural change: attach,
+  // set-size, truncate) or all of them (lock release hooks).
+  void InvalidateDirect(Oid file);
+  void ClearDirectCache();
+
+  void CountDirectRead(uint64_t bytes) { direct_read_bytes_.Add(bytes); }
+  void CountDirectWrite(uint64_t bytes) { direct_write_bytes_.Add(bytes); }
+  void CountDirectFallback() { direct_fallbacks_.Add(1); }
+  uint64_t direct_read_bytes() const { return direct_read_bytes_.value(); }
+  uint64_t direct_write_bytes() const { return direct_write_bytes_.value(); }
+  uint64_t direct_fallbacks() const { return direct_fallbacks_.value(); }
+  uint64_t batches_ship_failed() const { return batches_ship_failed_.value(); }
+
  private:
   LibFs(Transport* transport, ScmRegion* region, Options options)
       : transport_(transport), region_(region), options_(options) {
-    obs_registration_.AddAll(batches_shipped_, ops_logged_, pool_takes_,
-                             pool_refills_, pending_ops_gauge_);
+    obs_registration_.AddAll(batches_shipped_, batches_ship_failed_,
+                             ops_logged_, pool_takes_, pool_refills_,
+                             direct_read_bytes_, direct_write_bytes_,
+                             direct_fallbacks_, pending_ops_gauge_);
   }
 
   Status ShipBatchLocked(std::unique_lock<std::mutex>* lock);
@@ -145,9 +185,16 @@ class LibFs {
   uint64_t batch_bytes_ = 0;
   // Batch statistics live in the obs registry for this mount's lifetime.
   obs::Counter batches_shipped_{"libfs.batch.shipped"};
+  // Batches the TFS rejected outright. Never silent: acknowledged ops died
+  // with the rejection, so telemetry must show it even when the shipper
+  // (flusher, release hook) has no caller to report to.
+  obs::Counter batches_ship_failed_{"libfs.batch.ship_failed"};
   obs::Counter ops_logged_{"libfs.batch.ops"};
   obs::Counter pool_takes_{"libfs.pool.take"};
   obs::Counter pool_refills_{"libfs.pool.refill"};
+  obs::Counter direct_read_bytes_{"libfs.direct.read_bytes"};
+  obs::Counter direct_write_bytes_{"libfs.direct.write_bytes"};
+  obs::Counter direct_fallbacks_{"libfs.direct.fallback"};
   obs::Gauge pending_ops_gauge_{"libfs.batch.pending"};
   obs::ScopedRegistration obs_registration_;
 
@@ -158,6 +205,12 @@ class LibFs {
   std::mutex pool_mu_;
   // (type, capacity) -> available oids
   std::map<std::pair<uint8_t, uint64_t>, std::vector<Oid>> pools_;
+
+  // Direct-path extent-map cache (oid offset -> snapshot). Read-mostly:
+  // lookups take the lock shared and copy only the shared_ptr.
+  static constexpr size_t kDirectCacheMax = 4096;
+  mutable std::shared_mutex direct_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<const DirectMap>> direct_maps_;
 };
 
 }  // namespace aerie

@@ -31,7 +31,8 @@ LockClerk::LockClerk(LockServiceClient* service)
 LockClerk::LockClerk(LockServiceClient* service, Options options)
     : service_(service), options_(options) {
   obs_registration_.AddAll(global_acquires_, local_grants_, revokes_handled_,
-                           forced_releases_, deescalations_);
+                           forced_releases_, deescalations_, direct_grants_,
+                           direct_fallbacks_);
   worker_ = std::thread([this] { WorkerLoop(); });
 }
 
@@ -215,6 +216,41 @@ void LockClerk::Release(LockId id) {
   e.cv.notify_all();
 }
 
+Result<uint64_t> LockClerk::DirectGrant(LockId id, LockMode mode) {
+  std::lock_guard lk(mu_);
+  if (lease_lost_.load()) {
+    return Status(ErrorCode::kLockRevoked, "client lease expired");
+  }
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return Status(ErrorCode::kNotFound, "no cached authority");
+  }
+  const Entry& e = it->second;
+  if (!LockModeCovers(AuthorityLocked(e), mode)) {
+    return Status(ErrorCode::kPermissionDenied,
+                  "cached authority does not cover mode");
+  }
+  // The whole covering chain must be quiet: a drain that began *before* this
+  // call already bumped the epoch, so the epoch we would return must not
+  // outlive the authority that drain is about to take away.
+  const Entry* cur = &e;
+  for (int depth = 0; depth < 64; ++depth) {
+    if (cur->draining) {
+      return Status(ErrorCode::kUnavailable, "drain in flight");
+    }
+    if (cur->global != LockMode::kFree || cur->covered_by == 0) {
+      break;
+    }
+    auto pit = entries_.find(cur->covered_by);
+    if (pit == entries_.end()) {
+      return Status(ErrorCode::kUnavailable, "covering ancestor vanished");
+    }
+    cur = &pit->second;
+  }
+  direct_grants_.Add(1);
+  return direct_epoch_.load();
+}
+
 Status LockClerk::DrainAndReleaseGlobal(LockId id, bool downgrade_to_intent) {
   AERIE_SPAN("clerk", "drain_release");
   obs::TraceInstant("clerk.release.global", id);
@@ -239,6 +275,10 @@ Status LockClerk::DrainAndReleaseGlobal(LockId id, bool downgrade_to_intent) {
     return OkStatus();  // drained by the concurrent drainer
   }
   e.draining = true;
+  // Invalidate the direct data path before anything else: from here on no
+  // new epoch-validated memcpy may start against authority this drain is
+  // about to give up (DirectGrant also refuses while draining is set).
+  direct_epoch_.fetch_add(1);
 
   // Wait for local users of this lock to finish (paper: "prevents additional
   // threads from acquiring the local mutex and releases the global lock when
@@ -307,6 +347,13 @@ Status LockClerk::DrainAndReleaseGlobal(LockId id, bool downgrade_to_intent) {
   const bool wants_write_cover = WantsWrite(released_mode);
   ReleaseHook hook = release_hook_;
   lk.unlock();
+
+  // Direct-path quiescence: the epoch bump above stops new pins; wait for
+  // in-flight userspace copies to retire before the lock can leave this
+  // client. Pins are held only across a memcpy, so this is microseconds.
+  while (direct_pins_.load() != 0) {
+    std::this_thread::yield();
+  }
 
   if (!escalate.empty()) {
     deescalations_.Add(escalate.size());
@@ -407,6 +454,10 @@ void LockClerk::ReleaseIdleGlobals(uint64_t idle_ns) {
 }
 
 void LockClerk::OnRevoke(LockId id, LockMode wanted) {
+  // A revoke in flight forces direct ops onto the locked path immediately,
+  // before the worker even dequeues it (the drain will bump again; the
+  // counter only ever grows, so an early extra bump is harmless).
+  direct_epoch_.fetch_add(1);
   {
     std::lock_guard lock(queue_mu_);
     for (const auto& q : revoke_queue_) {
@@ -421,15 +472,25 @@ void LockClerk::OnRevoke(LockId id, LockMode wanted) {
 
 void LockClerk::OnLeaseExpired() {
   lease_lost_.store(true);
-  std::lock_guard lk(mu_);
-  // The service already dropped our locks; all cached authority is void, and
-  // unshipped metadata updates are implicitly discarded by the server.
-  for (auto& [id, e] : entries_) {
-    e.global = LockMode::kFree;
-    e.covered_by = 0;
-    e.covered_mode = LockMode::kFree;
-    e.local_children.clear();
-    e.cv.notify_all();
+  direct_epoch_.fetch_add(1);
+  {
+    std::lock_guard lk(mu_);
+    // The service already dropped our locks; all cached authority is void,
+    // and unshipped metadata updates are implicitly discarded by the server.
+    for (auto& [id, e] : entries_) {
+      e.global = LockMode::kFree;
+      e.covered_by = 0;
+      e.covered_mode = LockMode::kFree;
+      e.local_children.clear();
+      e.cv.notify_all();
+    }
+  }
+  // The service thread delivering the expiry is about to hand our locks to
+  // another client: in-flight direct copies must retire first, exactly as in
+  // a drain (this call is synchronous on the in-process transport, so the
+  // conflicting grant cannot return before we quiesce).
+  while (direct_pins_.load() != 0) {
+    std::this_thread::yield();
   }
 }
 
@@ -485,8 +546,27 @@ void LockClerk::WorkerLoop() {
   }
   std::unique_lock lock(queue_mu_);
   uint64_t last_renew_ns = NowNanos();
+  // queue_mu_ released around the RPC. Renewal must run even while the
+  // revoke queue is busy: a long run of drains (each shipping a batch to the
+  // TFS) previously starved renewal past the lease, and the service then
+  // dropped every lock this clerk had cached (the ablation_name_cache
+  // webproxy flake). Checked before each queued item, not only on idle.
+  auto renew_if_due = [&] {
+    if (!options_.auto_renew || lease_lost_.load() ||
+        renewal_stopped_.load()) {
+      return;
+    }
+    const uint64_t now = NowNanos();
+    if (now - last_renew_ns >= options_.renew_interval_ms * 1'000'000) {
+      last_renew_ns = now;
+      lock.unlock();
+      (void)service_->Renew();
+      lock.lock();
+    }
+  };
   while (!stopping_) {
     if (!revoke_queue_.empty()) {
+      renew_if_due();
       const QueuedRevoke item = revoke_queue_.front();
       revoke_queue_.pop_front();
       lock.unlock();
@@ -497,16 +577,7 @@ void LockClerk::WorkerLoop() {
     }
     queue_cv_.wait_for(lock,
                        std::chrono::milliseconds(options_.renew_interval_ms));
-    if (options_.auto_renew && !lease_lost_.load() &&
-        !renewal_stopped_.load()) {
-      const uint64_t now = NowNanos();
-      if (now - last_renew_ns >= options_.renew_interval_ms * 1'000'000) {
-        last_renew_ns = now;
-        lock.unlock();
-        (void)service_->Renew();
-        lock.lock();
-      }
-    }
+    renew_if_due();
   }
 }
 

@@ -89,6 +89,43 @@ class LockClerk final : public RevocationSink {
   void OnRevoke(LockId id, LockMode wanted) override;
   void OnLeaseExpired() override;
 
+  // --- Direct data path (lease-validity fast path, DESIGN.md §10) ---
+  //
+  // A direct-access *epoch* lets data ops bypass the clerk mutex entirely.
+  // The epoch is bumped whenever cached authority may shrink: a revocation
+  // arrives, a drain begins, or the lease is lost. A client-side cache entry
+  // (extent map, FlatFS value location) records the epoch at validation
+  // time; a data op then only has to pin + compare one atomic to know the
+  // authority it was validated under is still intact. Any bump — even for an
+  // unrelated lock — forces the op back onto the locked path, where the
+  // cache entry is revalidated and the epoch refreshed (coarse, but bumps
+  // only happen on revocation/lease events, which are rare by design).
+
+  // Validates under the clerk mutex that cached authority on `id` covers
+  // `mode` right now (lease live, no drain in flight anywhere on the
+  // covering chain). Returns the epoch the caller may cache.
+  Result<uint64_t> DirectGrant(LockId id, LockMode mode);
+
+  // Fast path: pins the direct path and re-checks `epoch`. On success the
+  // caller may touch mapped SCM until ExitDirect(); drains wait for the pin
+  // count to reach zero before a global lock can leave this client, so a
+  // pinned memcpy can never race a new holder. On failure (epoch moved —
+  // a revoke is in flight) nothing is pinned and the caller must fall back.
+  bool TryEnterDirect(uint64_t epoch) {
+    direct_pins_.fetch_add(1);  // seq_cst: orders against the drain's bump
+    if (direct_epoch_.load() != epoch || lease_lost_.load()) {
+      direct_pins_.fetch_sub(1);
+      direct_fallbacks_.Add(1);
+      return false;
+    }
+    return true;
+  }
+  void ExitDirect() { direct_pins_.fetch_sub(1); }
+
+  uint64_t direct_epoch() const { return direct_epoch_.load(); }
+  uint64_t direct_grants() const { return direct_grants_.value(); }
+  uint64_t direct_fallbacks() const { return direct_fallbacks_.value(); }
+
   // --- Introspection / test hooks ---
   // Mode of the cached global lock (kFree if none / only locally covered).
   LockMode GlobalMode(LockId id) const;
@@ -190,6 +227,11 @@ class LockClerk final : public RevocationSink {
 
   std::atomic<bool> lease_lost_{false};
   std::atomic<bool> renewal_stopped_{false};
+  // Direct-path state (seq_cst Dekker pair: an op pins then loads the epoch;
+  // a drain bumps the epoch then loads the pin count — at least one side
+  // always observes the other).
+  std::atomic<uint64_t> direct_epoch_{1};
+  std::atomic<uint64_t> direct_pins_{0};
   // Clerk statistics live in the obs registry for the clerk's lifetime: a
   // local grant is a lock-cache hit, a global acquire a miss.
   obs::Counter global_acquires_{"clerk.acquire.global"};
@@ -197,6 +239,8 @@ class LockClerk final : public RevocationSink {
   obs::Counter revokes_handled_{"clerk.revoke.handled"};
   obs::Counter forced_releases_{"clerk.release.forced"};
   obs::Counter deescalations_{"clerk.deescalate.count"};
+  obs::Counter direct_grants_{"clerk.direct.grant"};
+  obs::Counter direct_fallbacks_{"clerk.direct.fallback"};
   obs::ScopedRegistration obs_registration_;
 };
 

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/osd/oid.h"
@@ -58,6 +59,38 @@ class MFile {
   // Copies up to len bytes from `offset`; holes read as zeros. Returns bytes
   // read (clamped by size()).
   Result<uint64_t> Read(uint64_t offset, std::span<char> out) const;
+
+  // --- Direct data path (DESIGN.md §10) ---
+  // Immutable snapshot of the offset -> extent map, taken while the caller
+  // holds lock authority on the file. Region offsets of 4KB pages; 0 = hole.
+  // A snapshot stays safe to use after the lock is released *only* under a
+  // valid direct-access epoch from the clerk (extents are never reclaimed
+  // while any client could still hold authority over them).
+  struct DirectExtentMap {
+    uint64_t size = 0;            // file size when snapped
+    std::vector<uint64_t> pages;  // pages[i] = region offset of page i
+  };
+
+  // Snapshots size + per-page extents. Fails kNotSupported when the file
+  // spans more than `max_pages` pages, so callers cache a bounded map and
+  // fall back to the locked path for huge files.
+  Result<DirectExtentMap> SnapshotExtents(uint64_t max_pages) const;
+
+  // Copies out of the snapped extents without touching the mFile header
+  // (no Open, no size load — the snapshot is the truth the lease froze).
+  // Holes read as zeros; returns bytes read, clamped to map.size.
+  static uint64_t ReadDirect(ScmRegion* region, const DirectExtentMap& map,
+                             uint64_t offset, std::span<char> out);
+
+  // In-place overwrite strictly within [0, map.size) over mapped pages;
+  // kNotFound if any touched page is a hole (caller falls back to the
+  // locked path, which allocates + logs an attach). Streams the bytes and,
+  // when `flush` is set, drains write-combining buffers at the registered
+  // "libfs.direct.write.bflush" persist site so the overwrite is durable
+  // before the caller acknowledges it.
+  static Status WriteDirect(ScmRegion* region, const DirectExtentMap& map,
+                            uint64_t offset, std::span<const char> data,
+                            bool flush);
 
   // --- In-place data writes (clients, where extents already exist) ---
   // Writes only where extents are present; returns kNotFound if any touched

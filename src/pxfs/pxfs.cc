@@ -93,6 +93,9 @@ void Pxfs::ClearVolatileState() {
     overlay_.clear();
     shadows_.clear();
   }
+  // Cached direct maps fold the shadow state just dropped, and the epoch
+  // they were validated under is moving anyway (we are inside a release).
+  fs_->ClearDirectCache();
   FlushNameCache();
 }
 
@@ -299,6 +302,9 @@ Result<int> Pxfs::Open(std::string_view path, int flags) {
         return st;
       }
       OverlayAdd(r.parent, r.leaf, *pooled);
+      // Pool objects can carry offsets of previously destroyed files; make
+      // sure no stale direct map aliases the newborn.
+      fs_->InvalidateDirect(*pooled);
       r.target = *pooled;
     }
     clerk->Release(r.parent.lock_id());
@@ -325,11 +331,14 @@ Result<int> Pxfs::Open(std::string_view path, int flags) {
     op.a = 0;
     AERIE_RETURN_IF_ERROR(fs_->LogOp(std::move(op)));
     auto shadow = ShadowFor(r.target, /*create=*/true);
-    std::lock_guard lock(overlay_mu_);
-    shadow->extents.clear();
-    shadow->size = 0;
-    shadow->has_size = true;
-    shadow->mfile_floor = 0;  // the pending truncate frees every SCM extent
+    {
+      std::lock_guard lock(overlay_mu_);
+      shadow->extents.clear();
+      shadow->size = 0;
+      shadow->has_size = true;
+      shadow->mfile_floor = 0;  // the pending truncate frees every extent
+    }
+    fs_->InvalidateDirect(r.target);
   }
 
   std::lock_guard lock(fds_mu_);
@@ -376,6 +385,130 @@ Status Pxfs::Close(int fd) {
     return fs_->NotifyClosed(entry->oid);
   }
   return OkStatus();
+}
+
+// --- Direct data path (DESIGN.md §10) ---------------------------------------
+
+bool Pxfs::TryDirectRead(const FdEntry& entry, uint64_t offset,
+                         std::span<char> out, uint64_t* n) {
+  if (!DirectUsable()) {
+    return false;
+  }
+  auto map = fs_->LookupDirect(entry.oid);
+  if (map == nullptr) {
+    return false;
+  }
+  LockClerk* clerk = fs_->clerk();
+  if (!clerk->TryEnterDirect(map->epoch)) {
+    fs_->CountDirectFallback();
+    return false;
+  }
+  *n = MFile::ReadDirect(ctx_.region, map->map, offset, out);
+  clerk->ExitDirect();
+  fs_->CountDirectRead(*n);
+  return true;
+}
+
+bool Pxfs::TryDirectWrite(const FdEntry& entry, uint64_t offset,
+                          std::span<const char> data, uint64_t* n) {
+  if (!DirectUsable() || data.empty()) {
+    return false;
+  }
+  if ((entry.flags & kOpenWrite) == 0) {
+    return false;  // locked path owns the error
+  }
+  auto map = fs_->LookupDirect(entry.oid);
+  if (map == nullptr || !map->writable) {
+    return false;
+  }
+  // Cheap pre-checks outside the pin: an extending write or a hole is an
+  // allocation — metadata — and belongs to the locked path.
+  if (offset + data.size() > map->map.size) {
+    return false;
+  }
+  LockClerk* clerk = fs_->clerk();
+  if (!clerk->TryEnterDirect(map->epoch)) {
+    fs_->CountDirectFallback();
+    return false;
+  }
+  Status st = MFile::WriteDirect(ctx_.region, map->map, offset, data,
+                                 options_.flush_data_on_write);
+  clerk->ExitDirect();
+  if (!st.ok()) {
+    fs_->CountDirectFallback();
+    return false;  // hole: locked path allocates + logs the attach
+  }
+  fs_->CountDirectWrite(data.size());
+  AERIE_COUNT_N("pxfs.api.logical_write_bytes", data.size());
+  *n = data.size();
+  return true;
+}
+
+void Pxfs::RefreshDirectMap(Oid file, LockMode mode) {
+  if (!DirectUsable()) {
+    return;
+  }
+  LockClerk* clerk = fs_->clerk();
+  // Validated under the clerk mutex while we still hold the local grant; a
+  // failure (drain in flight, authority gone) just means no cache entry.
+  auto epoch = clerk->DirectGrant(file.lock_id(), mode);
+  if (!epoch.ok()) {
+    return;
+  }
+  auto mfile = MFile::Open(ctx_, file);
+  if (!mfile.ok()) {
+    return;
+  }
+  LibFs::DirectMap dm;
+  dm.epoch = *epoch;
+  dm.writable = mode == LockMode::kExclusive;
+
+  // Fold this client's unshipped shadow state into the snapshot, exactly as
+  // ReadAt would resolve it: shadow extents override the persistent mapping,
+  // pages at/above a pending-truncate floor are holes, the shadow size wins.
+  uint64_t size = mfile->size();
+  uint64_t floor = ~0ull;
+  std::map<uint64_t, uint64_t> shadow_extents;
+  auto shadow = ShadowFor(file, /*create=*/false);
+  if (shadow != nullptr) {
+    std::lock_guard lock(overlay_mu_);
+    if (shadow->has_size) {
+      size = shadow->size;
+    }
+    floor = shadow->mfile_floor;
+    shadow_extents = shadow->extents;
+  }
+  const uint64_t pages = (size + kScmPageSize - 1) / kScmPageSize;
+  if (pages > kDirectMaxPages) {
+    return;  // unbounded map: such files stay on the locked path
+  }
+  dm.map.size = size;
+  dm.map.pages.assign(pages, 0);
+  (void)mfile->ForEachExtent([&](uint64_t page, uint64_t extent) {
+    if (page < pages && page < floor) {
+      dm.map.pages[page] = extent;
+    }
+    return true;
+  });
+  for (const auto& [page, extent] : shadow_extents) {
+    if (page < pages) {
+      dm.map.pages[page] = extent;
+    }
+  }
+  fs_->StoreDirect(file, std::move(dm));
+}
+
+void Pxfs::MaybeRefreshDirect(Oid file, bool writable) {
+  if (!DirectUsable()) {
+    return;
+  }
+  auto cur = fs_->LookupDirect(file);
+  if (cur != nullptr && cur->epoch == fs_->clerk()->direct_epoch() &&
+      (cur->writable || !writable)) {
+    return;  // still usable as-is
+  }
+  RefreshDirectMap(file,
+                   writable ? LockMode::kExclusive : LockMode::kShared);
 }
 
 // --- Data path ---------------------------------------------------------------
@@ -439,8 +572,11 @@ Result<uint64_t> Pxfs::ReadAt(const FdEntry& entry, uint64_t offset,
 }
 
 Result<uint64_t> Pxfs::WriteAt(FdEntry* entry, uint64_t offset,
-                               std::span<const char> data) {
+                               std::span<const char> data, bool* structural) {
   AERIE_SCM_LAYER("pxfs");
+  if (structural != nullptr) {
+    *structural = false;
+  }
   if ((entry->flags & kOpenWrite) == 0) {
     return Status(ErrorCode::kPermissionDenied, "fd not open for write");
   }
@@ -555,6 +691,12 @@ Result<uint64_t> Pxfs::WriteAt(FdEntry* entry, uint64_t offset,
     ctx_.region->BFlush();
   }
   if (!attach_ops.empty()) {
+    // Structural change: any cached extent map for this file is now stale
+    // (new pages attached and/or a new size).
+    if (structural != nullptr) {
+      *structural = true;
+    }
+    fs_->InvalidateDirect(entry->oid);
     AERIE_RETURN_IF_ERROR(fs_->LogOps(std::move(attach_ops)));
   }
   AERIE_COUNT_N("pxfs.api.logical_write_bytes", data.size());
@@ -574,11 +716,20 @@ Result<uint64_t> Pxfs::Read(int fd, std::span<char> out) {
     entry = fds_[static_cast<size_t>(fd)].get();
     offset = entry->offset;
   }
+  uint64_t direct_n = 0;
+  if (TryDirectRead(*entry, offset, out, &direct_n)) {
+    std::lock_guard lock(fds_mu_);
+    entry->offset = offset + direct_n;
+    return direct_n;
+  }
   LockClerk* clerk = fs_->clerk();
   AERIE_RETURN_IF_ERROR(
       clerk->Acquire(entry->oid.lock_id(), LockMode::kShared,
                      entry->ancestors));
   auto n = ReadAt(*entry, offset, out);
+  if (n.ok()) {
+    MaybeRefreshDirect(entry->oid, /*writable=*/false);
+  }
   clerk->Release(entry->oid.lock_id());
   if (n.ok()) {
     std::lock_guard lock(fds_mu_);
@@ -601,11 +752,25 @@ Result<uint64_t> Pxfs::Write(int fd, std::span<const char> data) {
     offset = (entry->flags & kOpenAppend) ? FileSize(entry->oid)
                                           : entry->offset;
   }
+  uint64_t direct_n = 0;
+  if ((entry->flags & kOpenAppend) == 0 &&
+      TryDirectWrite(*entry, offset, data, &direct_n)) {
+    std::lock_guard lock(fds_mu_);
+    entry->offset = offset + direct_n;
+    return direct_n;
+  }
   LockClerk* clerk = fs_->clerk();
   AERIE_RETURN_IF_ERROR(
       clerk->Acquire(entry->oid.lock_id(), LockMode::kExclusive,
                      entry->ancestors));
-  auto n = WriteAt(entry, offset, data);
+  bool structural = false;
+  auto n = WriteAt(entry, offset, data, &structural);
+  // Appends mutate the map every call; caching after one would thrash. A
+  // non-structural (overwrite) slow path is the signal the file's map is
+  // worth caching for the direct path.
+  if (n.ok() && !structural) {
+    MaybeRefreshDirect(entry->oid, /*writable=*/true);
+  }
   clerk->Release(entry->oid.lock_id());
   if (n.ok()) {
     std::lock_guard lock(fds_mu_);
@@ -623,11 +788,18 @@ Result<uint64_t> Pxfs::Pread(int fd, uint64_t offset, std::span<char> out) {
   }
   FdEntry* entry = fds_[static_cast<size_t>(fd)].get();
   lock.unlock();
+  uint64_t direct_n = 0;
+  if (TryDirectRead(*entry, offset, out, &direct_n)) {
+    return direct_n;
+  }
   LockClerk* clerk = fs_->clerk();
   AERIE_RETURN_IF_ERROR(
       clerk->Acquire(entry->oid.lock_id(), LockMode::kShared,
                      entry->ancestors));
   auto n = ReadAt(*entry, offset, out);
+  if (n.ok()) {
+    MaybeRefreshDirect(entry->oid, /*writable=*/false);
+  }
   clerk->Release(entry->oid.lock_id());
   return n;
 }
@@ -642,11 +814,19 @@ Result<uint64_t> Pxfs::Pwrite(int fd, uint64_t offset,
   }
   FdEntry* entry = fds_[static_cast<size_t>(fd)].get();
   lock.unlock();
+  uint64_t direct_n = 0;
+  if (TryDirectWrite(*entry, offset, data, &direct_n)) {
+    return direct_n;
+  }
   LockClerk* clerk = fs_->clerk();
   AERIE_RETURN_IF_ERROR(
       clerk->Acquire(entry->oid.lock_id(), LockMode::kExclusive,
                      entry->ancestors));
-  auto n = WriteAt(entry, offset, data);
+  bool structural = false;
+  auto n = WriteAt(entry, offset, data, &structural);
+  if (n.ok() && !structural) {
+    MaybeRefreshDirect(entry->oid, /*writable=*/true);
+  }
   clerk->Release(entry->oid.lock_id());
   return n;
 }
@@ -730,6 +910,9 @@ Status Pxfs::Ftruncate(int fd, uint64_t size) {
         ctx_.region->WlFlush(data + in_page, kScmPageSize - in_page);
       }
     }
+  }
+  if (st.ok()) {
+    fs_->InvalidateDirect(oid);
   }
   clerk->Release(oid.lock_id());
   return st;
@@ -844,6 +1027,10 @@ Status Pxfs::UnlinkLocked(const Resolved& r) {
   op.name = r.leaf;
   AERIE_RETURN_IF_ERROR(fs_->LogOp(std::move(op)));
   OverlayRemove(r.parent, r.leaf);
+  // The object may be reclaimed at apply and its offset recycled into a
+  // fresh pool object; a lingering map keyed by that offset must not alias
+  // the new file.
+  fs_->InvalidateDirect(r.target);
   return OkStatus();
 }
 
@@ -968,6 +1155,11 @@ Status Pxfs::Rename(std::string_view from, std::string_view to) {
   if (st.ok()) {
     OverlayRemove(src.parent, src.leaf);
     OverlayAdd(dst.parent, dst.leaf, src.target);
+    if (!dst.target.IsNull() && dst.target.type() == ObjType::kMFile) {
+      // The replaced destination may be destroyed at apply; its offset must
+      // not alias a future pool object through a stale direct map.
+      fs_->InvalidateDirect(dst.target);
+    }
   }
   if (b != a) {
     clerk->Release(b);

@@ -77,6 +77,11 @@ class Pxfs {
     // (e.g. write-only files), data access goes through the trusted service
     // instead of direct loads/stores.
     bool enforce_memory_protection = false;
+    // Direct data path (DESIGN.md §10): reads and aligned in-place
+    // overwrites bypass the clerk's locked path via cached extent maps
+    // validated against the clerk's direct-access epoch. Also gated by the
+    // AERIE_DIRECT environment variable.
+    bool direct_data = true;
   };
 
   Pxfs(LibFs* fs, const Options& options);
@@ -184,8 +189,34 @@ class Pxfs {
 
   Result<uint64_t> ReadAt(const FdEntry& entry, uint64_t offset,
                           std::span<char> out);
+  // `structural` (optional) reports whether the write attached extents or
+  // changed the size — i.e. whether cached extent maps went stale.
   Result<uint64_t> WriteAt(FdEntry* entry, uint64_t offset,
-                           std::span<const char> data);
+                           std::span<const char> data,
+                           bool* structural = nullptr);
+
+  // --- Direct data path (DESIGN.md §10) ---
+  // Upper bound on cacheable file size: one map entry per 4KB page.
+  static constexpr uint64_t kDirectMaxPages = 1 << 16;  // 256MB
+
+  bool DirectUsable() const {
+    return options_.direct_data && !options_.enforce_memory_protection &&
+           LibFs::DirectEnabled();
+  }
+  // Lock-free fast paths: true (with *n set) when the op completed against
+  // a cached extent map under a pinned direct epoch; false means the caller
+  // must run the locked path (which refreshes the cache).
+  bool TryDirectRead(const FdEntry& entry, uint64_t offset,
+                     std::span<char> out, uint64_t* n);
+  bool TryDirectWrite(const FdEntry& entry, uint64_t offset,
+                      std::span<const char> data, uint64_t* n);
+  // Caller holds the file lock in at least `mode`. Snapshots the extent map
+  // (persistent mapping + this client's shadow state) and caches it under
+  // the current direct epoch.
+  void RefreshDirectMap(Oid file, LockMode mode);
+  // RefreshDirectMap only when the cached entry is missing, stale, or not
+  // writable when a writable one is needed.
+  void MaybeRefreshDirect(Oid file, bool writable);
   uint64_t FileSize(Oid file);
   uint64_t FileSizeNoShadow(Oid file);  // callable under overlay_mu_
 

@@ -533,6 +533,14 @@ Status TrustedFsService::ApplyBatch(uint64_t client_id,
                                     std::string_view batch_blob) {
   AERIE_SCM_LAYER("tfs");
   AERIE_SPAN("tfs", "apply_batch");
+  // Any RPC from a live client proves it hasn't failed, so renew its lease —
+  // exactly as Acquire/Release do. Without this, a client working entirely
+  // out of its lock cache (no lock RPCs, hence no implicit renewals) could
+  // ship a batch moments after a renewal stall lapsed the lease and have
+  // every op rejected by HoldsWriteLock's LeaseValid check even though the
+  // locks were never granted elsewhere. A client whose locks genuinely moved
+  // on still fails the per-op HeldMode checks below.
+  (void)locks_->Renew(client_id);
   auto ops = DecodeBatch(batch_blob);
   if (!ops.ok()) {
     ops_rejected_.Add(1);

@@ -1,0 +1,585 @@
+// Zero-RPC direct data path (DESIGN.md §10). Three layers:
+//
+//  * DirectPathTest.*: functional coverage — warmed reads and aligned
+//    in-place overwrites run against the cached extent map (counters
+//    advance, results match the locked path), appends/extends fall back,
+//    revocation by a second client bumps the direct epoch and forces the
+//    locked path, and a concurrent reader never observes a torn page.
+//  * DirectPathCrashTest.CleanSweep*: the crash simulator enumerates states
+//    across a direct overwrite and across a revoke-triggered batch ship on a
+//    shared directory; every image must recover consistently.
+//  * DirectPathCrashTest.Detects*: mutation mode — suppressing the direct
+//    write's registered BFlush site must be caught by a commit-marker
+//    content oracle (acknowledged direct overwrites whose bytes never left
+//    the WC buffers).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/open_flags.h"
+#include "src/flatfs/flatfs.h"
+#include "src/libfs/system.h"
+#include "src/osd/mfile.h"
+#include "src/pxfs/pxfs.h"
+#include "src/scm/crash_sim.h"
+#include "src/tfs/fsck.h"
+
+namespace aerie {
+namespace {
+
+constexpr uint64_t kPage = 4096;
+
+LibFs::Options EagerClientOptions() {
+  LibFs::Options options;
+  options.eager_ship = true;
+  options.flush_interval_ms = 0;
+  options.pool_low_water = 4;
+  options.pool_refill = 64;
+  return options;
+}
+
+std::span<const char> Bytes(const std::string& s) {
+  return std::span<const char>(s.data(), s.size());
+}
+
+// --- Functional -----------------------------------------------------------
+
+class DirectPathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AerieSystem::Options options;
+    options.region_bytes = 64ull << 20;
+    auto sys = AerieSystem::Create(options);
+    ASSERT_TRUE(sys.ok()) << sys.status().ToString();
+    sys_ = std::move(*sys);
+    auto client = sys_->NewClient(EagerClientOptions());
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    client_ = std::move(*client);
+    fs_ = std::make_unique<Pxfs>(client_->fs());
+    ASSERT_TRUE(fs_->Mkdir("/d").ok());
+  }
+
+  // Creates `path` with `pages` pages of `fill` through the locked path.
+  void MakeFile(const std::string& path, int pages, char fill) {
+    auto fd = fs_->Open(path, kOpenCreate | kOpenWrite);
+    ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+    const std::string data(pages * kPage, fill);
+    auto n = fs_->Write(*fd, Bytes(data));
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+    ASSERT_EQ(*n, data.size());
+    ASSERT_TRUE(fs_->Close(*fd).ok());
+  }
+
+  LibFs* libfs() { return client_->fs(); }
+
+  std::unique_ptr<AerieSystem> sys_;
+  std::unique_ptr<AerieSystem::Client> client_;
+  std::unique_ptr<Pxfs> fs_;
+};
+
+TEST_F(DirectPathTest, WarmedReadsServeFromCachedMap) {
+  MakeFile("/d/r", 2, 'a');
+  auto fd = fs_->Open("/d/r", kOpenRead);
+  ASSERT_TRUE(fd.ok());
+  std::string buf(2 * kPage, '\0');
+
+  // First read takes the locked path and warms the map.
+  auto n = fs_->Pread(*fd, 0, std::span<char>(buf.data(), buf.size()));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, buf.size());
+  const uint64_t before = libfs()->direct_read_bytes();
+
+  n = fs_->Pread(*fd, 0, std::span<char>(buf.data(), buf.size()));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, buf.size());
+  EXPECT_EQ(buf, std::string(2 * kPage, 'a'));
+  EXPECT_EQ(libfs()->direct_read_bytes(), before + buf.size());
+
+  // Partial read from an interior offset through the same map.
+  std::string tail(kPage, '\0');
+  n = fs_->Pread(*fd, kPage, std::span<char>(tail.data(), tail.size()));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, kPage);
+  EXPECT_EQ(tail, std::string(kPage, 'a'));
+  EXPECT_EQ(libfs()->direct_read_bytes(), before + buf.size() + kPage);
+  ASSERT_TRUE(fs_->Close(*fd).ok());
+}
+
+TEST_F(DirectPathTest, InPlaceOverwritesGoDirectAndStayReadable) {
+  MakeFile("/d/w", 2, 'a');
+  auto fd = fs_->Open("/d/w", kOpenRead | kOpenWrite);
+  ASSERT_TRUE(fd.ok());
+
+  // First overwrite is in place but uncached: locked path, warms a writable
+  // map.
+  const std::string first(kPage, 'b');
+  auto n = fs_->Pwrite(*fd, 0, Bytes(first));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, kPage);
+  const uint64_t before = libfs()->direct_write_bytes();
+
+  const std::string second(kPage, 'c');
+  n = fs_->Pwrite(*fd, kPage, Bytes(second));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, kPage);
+  EXPECT_EQ(libfs()->direct_write_bytes(), before + kPage);
+
+  // Readable through both the direct and the locked path.
+  std::string buf(2 * kPage, '\0');
+  n = fs_->Pread(*fd, 0, std::span<char>(buf.data(), buf.size()));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(buf.substr(0, kPage), first);
+  EXPECT_EQ(buf.substr(kPage), second);
+  ASSERT_TRUE(fs_->Close(*fd).ok());
+
+  auto fd2 = fs_->Open("/d/w", kOpenRead);
+  ASSERT_TRUE(fd2.ok());
+  std::fill(buf.begin(), buf.end(), '\0');
+  n = fs_->Pread(*fd2, 0, std::span<char>(buf.data(), buf.size()));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(buf.substr(kPage), second);
+  ASSERT_TRUE(fs_->Close(*fd2).ok());
+}
+
+TEST_F(DirectPathTest, ExtendsAndAppendsFallBackToLockedPath) {
+  MakeFile("/d/x", 1, 'a');
+  auto fd = fs_->Open("/d/x", kOpenRead | kOpenWrite);
+  ASSERT_TRUE(fd.ok());
+
+  // Warm a writable map with an in-place overwrite.
+  const std::string page(kPage, 'b');
+  ASSERT_TRUE(fs_->Pwrite(*fd, 0, Bytes(page)).ok());
+  const uint64_t direct_before = libfs()->direct_write_bytes();
+
+  // Extending past EOF must not run direct: it needs an extent allocation
+  // and a logged SetSize.
+  auto n = fs_->Pwrite(*fd, kPage, Bytes(page));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, kPage);
+  EXPECT_EQ(libfs()->direct_write_bytes(), direct_before);
+
+  auto st = fs_->Fstat(*fd);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 2 * kPage);
+  ASSERT_TRUE(fs_->Close(*fd).ok());
+
+  // O_APPEND writes always take the locked path.
+  auto afd = fs_->Open("/d/x", kOpenWrite | kOpenAppend);
+  ASSERT_TRUE(afd.ok());
+  ASSERT_TRUE(fs_->Write(*afd, Bytes(page)).ok());
+  EXPECT_EQ(libfs()->direct_write_bytes(), direct_before);
+  ASSERT_TRUE(fs_->Close(*afd).ok());
+}
+
+TEST_F(DirectPathTest, OptionsCanDisableTheDirectPath) {
+  Pxfs::Options options;
+  options.direct_data = false;
+  Pxfs plain(client_->fs(), options);
+  ASSERT_TRUE(plain.Mkdir("/nd").ok());
+  auto fd = plain.Open("/nd/f", kOpenCreate | kOpenRead | kOpenWrite);
+  ASSERT_TRUE(fd.ok());
+  const std::string page(kPage, 'z');
+  ASSERT_TRUE(plain.Write(*fd, Bytes(page)).ok());
+  const uint64_t reads = libfs()->direct_read_bytes();
+  const uint64_t writes = libfs()->direct_write_bytes();
+  std::string buf(kPage, '\0');
+  ASSERT_TRUE(plain.Pread(*fd, 0, std::span<char>(buf.data(), kPage)).ok());
+  ASSERT_TRUE(plain.Pread(*fd, 0, std::span<char>(buf.data(), kPage)).ok());
+  ASSERT_TRUE(plain.Pwrite(*fd, 0, Bytes(page)).ok());
+  ASSERT_TRUE(plain.Pwrite(*fd, 0, Bytes(page)).ok());
+  EXPECT_EQ(libfs()->direct_read_bytes(), reads);
+  EXPECT_EQ(libfs()->direct_write_bytes(), writes);
+  ASSERT_TRUE(plain.Close(*fd).ok());
+}
+
+TEST_F(DirectPathTest, RevocationBumpsEpochAndForcesLockedPath) {
+  MakeFile("/d/s", 1, 'A');
+  auto fd = fs_->Open("/d/s", kOpenRead);
+  ASSERT_TRUE(fd.ok());
+  std::string buf(kPage, '\0');
+  // Warm and confirm the map is live.
+  ASSERT_TRUE(fs_->Pread(*fd, 0, std::span<char>(buf.data(), kPage)).ok());
+  const uint64_t before = libfs()->direct_read_bytes();
+  ASSERT_TRUE(fs_->Pread(*fd, 0, std::span<char>(buf.data(), kPage)).ok());
+  ASSERT_EQ(libfs()->direct_read_bytes(), before + kPage);
+
+  LockClerk* clerk = client_->fs()->clerk();
+  const uint64_t epoch = clerk->direct_epoch();
+
+  // A second client takes the file lock for write: our cached authority is
+  // revoked, which must bump the direct epoch before the grant moves.
+  auto client2 = sys_->NewClient(EagerClientOptions());
+  ASSERT_TRUE(client2.ok());
+  Pxfs fs2((*client2)->fs());
+  auto fd2 = fs2.Open("/d/s", kOpenWrite);
+  ASSERT_TRUE(fd2.ok()) << fd2.status().ToString();
+  const std::string page(kPage, 'B');
+  ASSERT_TRUE(fs2.Pwrite(*fd2, 0, Bytes(page)).ok());
+  ASSERT_TRUE(fs2.Close(*fd2).ok());
+
+  EXPECT_GT(clerk->direct_epoch(), epoch);
+  // A pin attempt against the pre-revoke epoch must be refused and counted.
+  const uint64_t fallbacks = clerk->direct_fallbacks();
+  EXPECT_FALSE(clerk->TryEnterDirect(epoch));
+  EXPECT_EQ(clerk->direct_fallbacks(), fallbacks + 1);
+
+  // Our next read re-acquires and must see the other client's bytes.
+  ASSERT_TRUE(fs_->Pread(*fd, 0, std::span<char>(buf.data(), kPage)).ok());
+  EXPECT_EQ(buf, page);
+  // ... and the map re-warms under the new epoch.
+  const uint64_t direct = libfs()->direct_read_bytes();
+  ASSERT_TRUE(fs_->Pread(*fd, 0, std::span<char>(buf.data(), kPage)).ok());
+  EXPECT_EQ(libfs()->direct_read_bytes(), direct + kPage);
+  EXPECT_EQ(buf, page);
+  ASSERT_TRUE(fs_->Close(*fd).ok());
+}
+
+// A reader hammering the direct path while another client overwrites the
+// same page must never observe a torn page: direct access is epoch-pinned,
+// and the writer's grant cannot complete until in-flight pins retire.
+TEST_F(DirectPathTest, ConcurrentWriterNeverTearsDirectReads) {
+  MakeFile("/d/t", 1, 'A');
+  auto fd = fs_->Open("/d/t", kOpenRead);
+  ASSERT_TRUE(fd.ok());
+  std::string warm(kPage, '\0');
+  ASSERT_TRUE(fs_->Pread(*fd, 0, std::span<char>(warm.data(), kPage)).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::thread reader([&] {
+    std::string buf(kPage, '\0');
+    while (!stop.load()) {
+      auto n = fs_->Pread(*fd, 0, std::span<char>(buf.data(), kPage));
+      if (!n.ok() || *n != kPage) {
+        torn.fetch_add(1);
+        break;
+      }
+      const char c = buf[0];
+      if ((c != 'A' && c != 'B') ||
+          buf != std::string(kPage, c)) {
+        torn.fetch_add(1);
+        break;
+      }
+    }
+  });
+
+  auto client2 = sys_->NewClient(EagerClientOptions());
+  ASSERT_TRUE(client2.ok());
+  Pxfs fs2((*client2)->fs());
+  auto fd2 = fs2.Open("/d/t", kOpenWrite);
+  ASSERT_TRUE(fd2.ok());
+  for (int i = 0; i < 60; ++i) {
+    const std::string page(kPage, (i % 2) ? 'A' : 'B');
+    ASSERT_TRUE(fs2.Pwrite(*fd2, 0, Bytes(page)).ok());
+  }
+  ASSERT_TRUE(fs2.Close(*fd2).ok());
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(torn.load(), 0);
+}
+
+TEST_F(DirectPathTest, FlatFsGetsGoDirectAndStayCoherent) {
+  FlatFs flat(client_->fs());
+  const std::string v1(1024, 'p');
+  ASSERT_TRUE(flat.Put("k", Bytes(v1)).ok());
+
+  // Put caches the value location eagerly: the very first get is direct.
+  const uint64_t before = libfs()->direct_read_bytes();
+  auto got = flat.Get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, v1);
+  EXPECT_EQ(libfs()->direct_read_bytes(), before + v1.size());
+
+  // Replacement points the key at a new file; the stale location must not
+  // be served.
+  const std::string v2(2048, 'q');
+  ASSERT_TRUE(flat.Put("k", Bytes(v2)).ok());
+  got = flat.Get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, v2);
+
+  ASSERT_TRUE(flat.Erase("k").ok());
+  EXPECT_EQ(flat.Get("k").status().code(), ErrorCode::kNotFound);
+}
+
+// --- Crash simulation -----------------------------------------------------
+
+constexpr uint64_t kCrashRegionBytes = 8ull << 20;
+
+AerieSystem::Options SmallSystemOptions() {
+  AerieSystem::Options options;
+  options.region_bytes = kCrashRegionBytes;
+  options.volume.log_bytes = 1ull << 20;
+  // Enumerating hundreds of crash images makes every fence wall-clock slow:
+  // a revoke-forced drain that ships a batch under the simulator can take
+  // longer than the default 2s lease/wait budgets, so a loaded machine
+  // either lapses the draining client's lease ("lease expired") or times
+  // out the conflicting acquire ("lock wait timed out") — timing accidents,
+  // not crash-consistency facts. Lease-lapse behaviour has its own
+  // deterministic suite (lease_renewal_test); here both budgets outlive
+  // any plausible sweep.
+  options.lock.lease_ms = 10 * 60 * 1000;
+  options.lock.wait_timeout_ms = 10 * 60 * 1000;
+  return options;
+}
+
+std::string UniqueImagePath(const char* tag) {
+  return ::testing::TempDir() + "/aerie_direct_crash_" + tag + ".img";
+}
+
+std::string PayloadFor(const std::string& path) { return "payload " + path; }
+
+struct CrashRig {
+  std::unique_ptr<AerieSystem> sys;
+  std::unique_ptr<AerieSystem::Client> client;
+  std::unique_ptr<Pxfs> fs;
+  std::vector<std::string> durable;
+};
+
+CrashRig BootPrimedRig(const LibFs::Options& copts) {
+  CrashRig t;
+  auto sys = AerieSystem::Create(SmallSystemOptions());
+  EXPECT_TRUE(sys.ok()) << sys.status().ToString();
+  t.sys = std::move(*sys);
+  auto client = t.sys->NewClient(copts);
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  t.client = std::move(*client);
+  t.fs = std::make_unique<Pxfs>(t.client->fs());
+  EXPECT_TRUE(t.fs->Mkdir("/w").ok());
+  t.durable.push_back("/w");
+  return t;
+}
+
+// Reboot + recovery + fsck + acknowledged paths present with intact payload
+// (same oracle as crash_sim_test's SystemChecker).
+CrashSimulator::Checker RebootChecker(const std::vector<std::string>* durable) {
+  return [durable](const std::string& image_path) -> Status {
+    AerieSystem::Options options = SmallSystemOptions();
+    options.region_path = image_path;
+    options.fresh = false;
+    auto sys = AerieSystem::Create(options);
+    if (!sys.ok()) {
+      return Status(ErrorCode::kCorrupted,
+                    "reboot/recovery failed: " + sys.status().ToString());
+    }
+    auto report = RunFsck((*sys)->volume());
+    if (!report.ok()) {
+      return report.status();
+    }
+    if (!report->ok()) {
+      return Status(ErrorCode::kCorrupted, "fsck: " + report->Summary());
+    }
+    auto client = (*sys)->NewClient();
+    if (!client.ok()) {
+      return client.status();
+    }
+    Pxfs fs((*client)->fs());
+    for (const auto& path : *durable) {
+      auto st = fs.Stat(path);
+      if (!st.ok()) {
+        return Status(ErrorCode::kCorrupted,
+                      "acknowledged path missing: " + path);
+      }
+      if (st->is_dir) {
+        continue;
+      }
+      const std::string want = PayloadFor(path);
+      auto fd = fs.Open(path, kOpenRead);
+      if (!fd.ok()) {
+        return fd.status();
+      }
+      char buf[128] = {};
+      auto n = fs.Read(*fd, std::span<char>(buf, sizeof(buf)));
+      Status close = fs.Close(*fd);
+      if (!n.ok()) {
+        return n.status();
+      }
+      if (!close.ok()) {
+        return close;
+      }
+      if (std::string_view(buf, *n) != want) {
+        return Status(ErrorCode::kCorrupted,
+                      "acknowledged content damaged: " + path);
+      }
+    }
+    return OkStatus();
+  };
+}
+
+// Shared flow for the direct-overwrite sweeps: prime a file, warm a writable
+// map, attach the simulator (optionally suppressing a site), run an
+// acknowledged direct overwrite, and enumerate at an explicit post-ack
+// point. The oracle reads the page bytes straight out of the crash image at
+// the extent's region offset: once the overwrite has been acknowledged, an
+// image whose page is not entirely the new fill proves the flush protocol
+// lost acknowledged bytes.
+void RunDirectOverwriteSweep(const char* tag, const char* suppress_site,
+                             bool expect_detect) {
+  CrashRig t = BootPrimedRig(EagerClientOptions());
+  ASSERT_TRUE(t.fs->Create("/w/f").ok());
+  auto fd = t.fs->Open("/w/f", kOpenRead | kOpenWrite);
+  ASSERT_TRUE(fd.ok());
+  const std::string base(kPage, 'A');
+  ASSERT_TRUE(t.fs->Pwrite(*fd, 0, Bytes(base)).ok());
+
+  // Warm the writable map and prove the direct path is live before the
+  // simulator attaches (the mutation must exercise WriteDirect).
+  ASSERT_TRUE(t.fs->Pwrite(*fd, 0, Bytes(std::string(kPage, 'C'))).ok());
+  const uint64_t direct_before = t.client->fs()->direct_write_bytes();
+  ASSERT_TRUE(t.fs->Pwrite(*fd, 0, Bytes(std::string(kPage, 'D'))).ok());
+  ASSERT_GT(t.client->fs()->direct_write_bytes(), direct_before)
+      << "overwrite did not take the direct path; nothing to mutate";
+
+  // Locate the page in the region so the oracle can read it raw.
+  auto st = t.fs->Stat("/w/f");
+  ASSERT_TRUE(st.ok());
+  auto mfile = MFile::Open(t.client->fs()->read_context(), st->oid);
+  ASSERT_TRUE(mfile.ok());
+  auto extent = mfile->ExtentForPage(0);
+  ASSERT_TRUE(extent.ok());
+  const uint64_t page_off = *extent;
+
+  auto acked = std::make_shared<std::atomic<bool>>(false);
+  auto checker = [acked, page_off](const std::string& image_path) -> Status {
+    if (!acked->load()) {
+      return OkStatus();  // pre-ack tearing is legal: the app has no claim
+    }
+    std::ifstream in(image_path, std::ios::binary);
+    if (!in) {
+      return Status(ErrorCode::kIoError, "cannot open crash image");
+    }
+    in.seekg(static_cast<std::streamoff>(page_off));
+    std::string page(kPage, '\0');
+    in.read(page.data(), static_cast<std::streamsize>(kPage));
+    if (!in) {
+      return Status(ErrorCode::kIoError, "short read from crash image");
+    }
+    if (page != std::string(kPage, 'B')) {
+      return Status(ErrorCode::kCorrupted,
+                    "acknowledged direct overwrite lost");
+    }
+    return OkStatus();
+  };
+
+  CrashSimOptions options;
+  options.seed = 777;
+  options.max_images = 300;
+  options.random_draws_per_point = 3;
+  options.stop_on_failure = expect_detect;
+  options.image_path = UniqueImagePath(tag);
+  options = CrashSimOptions::FromEnv(options);
+
+  CrashSimulator sim(t.sys->scm_region(), options, checker);
+  if (suppress_site != nullptr) {
+    const int site = RegisterPersistSite(suppress_site);
+    ASSERT_GE(site, 0);
+    sim.SuppressSite(site);
+  }
+
+  auto n = t.fs->Pwrite(*fd, 0, Bytes(std::string(kPage, 'B')));
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(*n, kPage);
+  // The overwrite is acknowledged; from here on the page must be all-'B' in
+  // every enumerated image.
+  acked->store(true);
+  t.sys->scm_region()->CrashPoint("test.direct_write.acked");
+
+  if (expect_detect) {
+    EXPECT_FALSE(sim.ok())
+        << "suppressing " << suppress_site
+        << " was not detected by any enumerated crash state\n"
+        << sim.Report();
+    std::fprintf(stderr, "detected %s:\n%s\n", suppress_site,
+                 sim.Report().c_str());
+  } else {
+    EXPECT_TRUE(sim.ok()) << sim.Report();
+    EXPECT_GT(sim.images_checked(), 0u);
+  }
+  ASSERT_TRUE(t.fs->Close(*fd).ok());
+  ::unlink(options.image_path.c_str());
+}
+
+// With the BFlush in place, every enumerated state post-ack carries the
+// acknowledged bytes.
+TEST(DirectPathCrashTest, CleanSweepDirectOverwriteIsDurableOnAck) {
+  RunDirectOverwriteSweep("clean", nullptr, /*expect_detect=*/false);
+}
+
+// Without it, the streamed page can sit in WC buffers while the app treats
+// the write as done — the oracle must catch at least one such image.
+TEST(DirectPathCrashTest, DetectsSuppressedDirectWriteBFlush) {
+  RunDirectOverwriteSweep("mut_bflush", "libfs.direct.write.bflush",
+                          /*expect_detect=*/true);
+}
+
+// Crash states enumerated while a revoke forces a lazy client to ship its
+// batch (the drain path the direct epoch piggybacks on) must all recover:
+// the ship itself is the txlog protocol, and acknowledged paths appear in
+// `durable` only after the forced apply completes.
+TEST(DirectPathCrashTest, CleanSweepCrashDuringRevokeShip) {
+  LibFs::Options lazy;
+  lazy.flush_interval_ms = 0;  // buffer until shipped by revoke or sync
+  lazy.pool_low_water = 4;
+  lazy.pool_refill = 64;
+  CrashRig t = BootPrimedRig(lazy);
+  // Ship the priming ops (the /w mkdir) so the simulator's budget is spent
+  // on the revoke-forced drain, and so /w is applied before `durable`
+  // promises it.
+  ASSERT_TRUE(t.fs->SyncAll().ok());
+
+  // Buffered (acknowledged-to-app but unshipped) creates under /w.
+  ASSERT_TRUE(t.fs->Create("/w/s").ok());
+  auto fd = t.fs->Open("/w/s", kOpenWrite);
+  ASSERT_TRUE(fd.ok());
+  const std::string payload = PayloadFor("/w/s");
+  ASSERT_TRUE(t.fs->Write(*fd, Bytes(payload)).ok());
+  ASSERT_TRUE(t.fs->Close(*fd).ok());
+
+  CrashSimOptions options;
+  options.seed = 778;
+  options.max_images = 300;
+  options.random_draws_per_point = 3;
+  options.stop_on_failure = false;
+  options.image_path = UniqueImagePath("revoke");
+  options = CrashSimOptions::FromEnv(options);
+  CrashSimulator sim(t.sys->scm_region(), options, RebootChecker(&t.durable));
+
+  // A second client creating in /w revokes the first client's directory
+  // lock mid-enumeration: the drain ships the buffered batch (txlog commit
+  // crash points), then the second client's own eager create applies.
+  auto client2 = t.sys->NewClient(EagerClientOptions());
+  ASSERT_TRUE(client2.ok());
+  Pxfs fs2((*client2)->fs());
+  auto fd2 = fs2.Open("/w/b", kOpenCreate | kOpenWrite);
+  ASSERT_TRUE(fd2.ok()) << fd2.status().ToString();
+  const std::string payload2 = PayloadFor("/w/b");
+  ASSERT_TRUE(fs2.Write(*fd2, Bytes(payload2)).ok());
+  ASSERT_TRUE(fs2.Close(*fd2).ok());
+  // Both clients' ops are applied now; later images must contain them.
+  t.durable.push_back("/w/s");
+  t.durable.push_back("/w/b");
+  t.sys->scm_region()->CrashPoint("test.revoke_ship.acked");
+
+  // The first client reads back through the post-revoke path.
+  auto fd3 = t.fs->Open("/w/b", kOpenRead);
+  ASSERT_TRUE(fd3.ok()) << fd3.status().ToString();
+  char buf[128] = {};
+  auto n = t.fs->Read(*fd3, std::span<char>(buf, sizeof(buf)));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(std::string_view(buf, *n), payload2);
+  ASSERT_TRUE(t.fs->Close(*fd3).ok());
+
+  EXPECT_TRUE(sim.ok()) << sim.Report();
+  EXPECT_GT(sim.images_checked(), 0u);
+  ::unlink(options.image_path.c_str());
+}
+
+}  // namespace
+}  // namespace aerie

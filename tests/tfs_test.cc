@@ -362,7 +362,13 @@ TEST_F(TfsTest, ServiceReadWritePath) {
   EXPECT_EQ(buf, data);
 }
 
-TEST_F(TfsTest, ExpiredLeaseRejectsBatch) {
+TEST_F(TfsTest, LapsedLeaseRenewedByBatchRpc) {
+  // A lapsed-but-unreclaimed lease: the locks are still registered to this
+  // client (no conflicting acquire has force-dropped them, so no other
+  // client ever observed them free), meaning the batch RPC itself is proof
+  // of liveness — it renews the lease like every other client RPC and the
+  // ops apply. This is the fix for the webproxy lost-creates flake: a
+  // renewal stall must not silently discard acknowledged metadata.
   LockRootXH();
   auto pooled = fs()->TakePooled(ObjType::kMFile);
   ASSERT_TRUE(pooled.ok());
@@ -371,10 +377,42 @@ TEST_F(TfsTest, ExpiredLeaseRejectsBatch) {
   op.type = MetaOpType::kCreateFile;
   op.authority = fs()->pxfs_root().lock_id();
   op.dir = fs()->pxfs_root();
+  op.name = "just-in-time";
+  op.obj = *pooled;
+  ASSERT_TRUE(tfs()->ApplyBatch(cid(), OneOp(op)).ok());
+  EXPECT_TRUE(sys_->lock_service()->LeaseValid(cid()));
+  auto dir = Collection::Open(fs()->read_context(), fs()->pxfs_root());
+  ASSERT_TRUE(dir.ok());
+  EXPECT_TRUE(dir->Lookup("just-in-time").ok());
+}
+
+TEST_F(TfsTest, DroppedLocksRejectBatch) {
+  // Once the lapsed client's locks have actually been force-dropped by a
+  // conflicting acquire, a late batch must be rejected: another client may
+  // already have observed state that contradicts it. The renew-on-RPC above
+  // must NOT resurrect dropped authority.
+  LockRootXH();
+  auto pooled = fs()->TakePooled(ObjType::kMFile);
+  ASSERT_TRUE(pooled.ok());
+  sys_->lock_service()->ExpireLeaseForTesting(cid());
+
+  auto client2 = sys_->NewClient();
+  ASSERT_TRUE(client2.ok());
+  ASSERT_TRUE((*client2)
+                  ->fs()
+                  ->clerk()
+                  ->Acquire(fs()->pxfs_root().lock_id(),
+                            LockMode::kExclusiveHier)
+                  .ok());
+  (*client2)->fs()->clerk()->Release(fs()->pxfs_root().lock_id());
+
+  MetaOp op;
+  op.type = MetaOpType::kCreateFile;
+  op.authority = fs()->pxfs_root().lock_id();
+  op.dir = fs()->pxfs_root();
   op.name = "too-late";
   op.obj = *pooled;
-  EXPECT_EQ(tfs()->ApplyBatch(cid(), OneOp(op)).code(),
-            ErrorCode::kLockRevoked);
+  EXPECT_FALSE(tfs()->ApplyBatch(cid(), OneOp(op)).ok());
 }
 
 }  // namespace

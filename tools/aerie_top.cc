@@ -407,6 +407,37 @@ void RenderText(const Options& opt, const Sample& prev, const Sample& cur) {
     }
   }
 
+  // Zero-RPC direct data path (DESIGN.md §10): bytes served straight from
+  // mapped SCM under the clerk's direct-access epoch, plus how often a
+  // stale epoch or in-flight revoke pushed an op back onto the locked path.
+  {
+    auto counter = [&cur](const char* name) -> uint64_t {
+      auto it = cur.counters.find(name);
+      return it == cur.counters.end() ? 0 : it->second;
+    };
+    const uint64_t read_bytes = counter("libfs.direct.read_bytes");
+    const uint64_t write_bytes = counter("libfs.direct.write_bytes");
+    const uint64_t grants = counter("clerk.direct.grant");
+    if (read_bytes != 0 || write_bytes != 0 || grants != 0) {
+      std::printf(
+          "\ndirect path: read %s (%s/s), write %s (%s/s), grants %s, "
+          "fallbacks %s (clerk %s)\n",
+          PrettyBytes(read_bytes).c_str(),
+          PrettyBytes(static_cast<uint64_t>(
+                          RatePerSec(prev, cur, "libfs.direct.read_bytes")))
+              .c_str(),
+          PrettyBytes(write_bytes).c_str(),
+          PrettyBytes(static_cast<uint64_t>(
+                          RatePerSec(prev, cur, "libfs.direct.write_bytes")))
+              .c_str(),
+          PrettyCount(static_cast<double>(grants)).c_str(),
+          PrettyCount(static_cast<double>(counter("libfs.direct.fallback")))
+              .c_str(),
+          PrettyCount(static_cast<double>(counter("clerk.direct.fallback")))
+              .c_str());
+    }
+  }
+
   const obs::WriteAmpReport amp = obs::ComputeWriteAmp(CounterPairs(cur));
   if (amp.physical_bytes != 0 || amp.logical_bytes != 0) {
     std::printf("\nwrite amplification: logical %s, physical %s",

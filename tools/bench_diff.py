@@ -20,10 +20,18 @@ listed but never gate — benches come and go across PRs.
 
 Stdlib only. Usage:
   tools/bench_diff.py OLD.json NEW.json [--tput-band 0.15] [--lat-band 0.35]
+                                        [--metrics REGEX]
+
+--metrics restricts the comparison to "bench/metric" keys matching REGEX
+(re.search). Use it when OLD and NEW differ by a knob that only touches a
+subset of the metrics — e.g. the CI direct-path A/B lane gates only the
+Aerie-side rows, because the kernelsim baselines in the same records can't
+be affected by AERIE_DIRECT and would only contribute flake surface.
 """
 
 import argparse
 import json
+import re
 import sys
 
 # Values below these floors are pure noise at any band (empty quick-mode
@@ -128,6 +136,9 @@ def main(argv=None):
                         help="allowed fractional p50/time increase "
                              "(default 0.35; 1.0 when either file is a "
                              "--quick sweep)")
+    parser.add_argument("--metrics", default=None, metavar="REGEX",
+                        help="compare only bench/metric keys matching "
+                             "REGEX (default: all)")
     args = parser.parse_args(argv)
 
     try:
@@ -143,6 +154,14 @@ def main(argv=None):
         else (1.0 if quick else 0.35)
 
     old_map, new_map = metric_map(old_agg), metric_map(new_agg)
+    if args.metrics:
+        try:
+            pattern = re.compile(args.metrics)
+        except re.error as e:
+            print("bench_diff: bad --metrics regex: %s" % e, file=sys.stderr)
+            return 2
+        old_map = {k: v for k, v in old_map.items() if pattern.search(k)}
+        new_map = {k: v for k, v in new_map.items() if pattern.search(k)}
     regressions, improvements, infos = compare(
         old_map, new_map, tput_band, lat_band)
 

@@ -8,6 +8,9 @@
 #
 # Options:
 #   --quick        reduced scales/windows for CI and smoke runs
+#   --only REGEX   run only benches whose name matches REGEX (the aggregate
+#                  then contains just those records; used by the CI
+#                  direct-path A/B lane to sweep fig1/table1 twice)
 #   --out FILE     aggregate output path (default BENCH_<YYYYMMDD>.json)
 #   --build-dir D  build tree containing bench/ (default <repo>/build)
 #   --skip-traces  skip the Perfetto trace passes (full mode only)
@@ -28,10 +31,12 @@ BUILD="$ROOT/build"
 QUICK=0
 SKIP_TRACES=0
 OUT=""
+ONLY=""
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --quick) QUICK=1; shift ;;
+    --only) ONLY="$2"; shift 2 ;;
     --out) OUT="$2"; shift 2 ;;
     --build-dir) BUILD="$2"; shift 2 ;;
     --skip-traces) SKIP_TRACES=1; shift ;;
@@ -69,6 +74,9 @@ mkdir -p "$REPORTS" "$PROFILES"
 run_bench() {
   local name="$1" scale="$2" seconds="$3" threads="${4:-1}"
   shift 4 || shift $#
+  if [[ -n "$ONLY" && ! "$name" =~ $ONLY ]]; then
+    return 0
+  fi
   echo
   echo "=== $name (scale=$scale seconds=$seconds threads=$threads) ==="
   local prof_env=()
@@ -103,6 +111,7 @@ if [[ "$QUICK" == 1 ]]; then
   run_bench ablation_name_cache    0.05 0.5
   run_bench ablation_lock_modes    0.05 0.5
   run_bench ablation_rpc_cost      0.02 0.4
+  run_bench ablation_direct_path   0.05 0.4
   run_bench gbench_primitives      0.05 0.4 1 --benchmark_min_time=0.05
 else
   echo "# full sweep seed=$AERIE_BENCH_SEED git=$AERIE_GIT_SHA"
@@ -117,6 +126,7 @@ else
   run_bench ablation_name_cache    0.2  2
   run_bench ablation_lock_modes    0.1  2
   run_bench ablation_rpc_cost      0.05 1
+  run_bench ablation_direct_path   0.1  1
   run_bench gbench_primitives      0.1  1 1 --benchmark_min_time=0.2
 fi
 

@@ -30,7 +30,8 @@ echo "crash matrix: samples=$AERIE_CRASH_SAMPLES seed=$AERIE_CRASH_SEED" \
 
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo || exit 1
 cmake --build "$build" -j "$(nproc)" \
-      --target crash_sim_test crash_random_test fuzz_test || exit 1
+      --target crash_sim_test crash_random_test fuzz_test \
+               direct_path_test || exit 1
 
 mkdir -p "$artifacts"
 status=0
@@ -52,6 +53,8 @@ run crash_sim_sweep \
     "$build/tests/crash_sim_test" --gtest_filter='CrashSimTest.*'
 run crash_sim_mutation \
     "$build/tests/crash_sim_test" --gtest_filter='CrashMutationTest.*'
+run direct_path_crash \
+    "$build/tests/direct_path_test" --gtest_filter='DirectPathCrashTest.*'
 run crash_random "$build/tests/crash_random_test"
 run fuzz "$build/tests/fuzz_test"
 
